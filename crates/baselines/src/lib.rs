@@ -1,0 +1,52 @@
+//! # ugrapher-baselines
+//!
+//! Faithful re-implementations of the *kernel execution strategies* of the
+//! three baseline systems the paper compares against (§6), all running on
+//! the same GPU simulator and model code as uGrapher so that end-to-end
+//! differences isolate graph-operator scheduling:
+//!
+//! * [`DglBackend`] — DGL's static handwritten kernels: a fixed
+//!   warp-per-destination-vertex CSR kernel for reductions (its SpMM path)
+//!   and a fixed thread-per-edge kernel for message creation (its SDDMM
+//!   path). No adaptation to graph or operator (paper §2.2).
+//! * [`PygBackend`] — PyTorch-Geometric's gather–scatter execution: every
+//!   operator materialises per-edge message tensors (`index_select`, then
+//!   edge-wise compute, then `scatter-reduce`), paying the extra kernels
+//!   and memory traffic the paper attributes to it.
+//! * [`GnnAdvisorBackend`] — GNNAdvisor's warp-edge kernel with fixed
+//!   neighbour grouping; supports only GCN and GIN (paper §6), with the
+//!   node-renumbering optimisation disabled for fair comparison.
+//!
+//! Each backend implements [`GraphOpBackend`], so any model in
+//! `ugrapher-gnn` can run on any of them (subject to `supports`).
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_baselines::{DglBackend, PygBackend};
+//! use ugrapher_gnn::{run_inference, ModelConfig, ModelKind, UGrapherBackend};
+//! use ugrapher_graph::generate::uniform_random;
+//! use ugrapher_sim::DeviceConfig;
+//! use ugrapher_tensor::Tensor2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = uniform_random(300, 2400, 3);
+//! let x = Tensor2::full(300, 16, 0.5);
+//! let model = ModelConfig::paper_default(ModelKind::Gcn);
+//! let dgl = run_inference(&model, &g, &x, 4, &DglBackend::new(DeviceConfig::v100()))?;
+//! let pyg = run_inference(&model, &g, &x, 4, &PygBackend::new(DeviceConfig::v100()))?;
+//! // Same functional result, different kernel cost.
+//! assert!(dgl.output.approx_eq(&pyg.output, 1e-3)?);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dgl;
+mod gnnadvisor;
+mod pyg;
+mod util;
+
+pub use dgl::DglBackend;
+pub use gnnadvisor::GnnAdvisorBackend;
+pub use pyg::PygBackend;
+pub use ugrapher_gnn::GraphOpBackend;

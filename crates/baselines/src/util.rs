@@ -1,0 +1,29 @@
+//! Shared helper for fixed-strategy backends.
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::api::{GraphTensor, OpArgs, Runtime};
+use ugrapher_core::exec::OpOperands;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_core::CoreError;
+use ugrapher_graph::Graph;
+use ugrapher_sim::SimReport;
+use ugrapher_tensor::Tensor2;
+
+/// Runs one operator under an explicitly fixed schedule: functional
+/// evaluation plus simulated measurement, exactly as the uGrapher path but
+/// with no tuning.
+pub(crate) fn run_fixed(
+    runtime: &Runtime,
+    graph: &Graph,
+    op: OpInfo,
+    operands: &OpOperands<'_>,
+    parallel: ParallelInfo,
+) -> Result<(Tensor2, SimReport), CoreError> {
+    let gt = GraphTensor::new(graph);
+    let args = OpArgs {
+        op,
+        operands: *operands,
+    };
+    let res = runtime.run(&gt, &args, Some(parallel))?;
+    Ok((res.output, res.report))
+}

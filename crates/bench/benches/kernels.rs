@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the kernel pipeline: how fast the
+//! reproduction itself measures and executes graph operators. These guard
+//! the harness's own performance (grid search cost = 196 x `measure`), not
+//! the simulated GPU times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::exec::{execute, measure, Fidelity, MeasureOptions, OpOperands};
+use ugrapher_core::plan::KernelPlan;
+use ugrapher_core::schedule::{ParallelInfo, Strategy};
+use ugrapher_graph::datasets::{by_abbrev, Scale};
+use ugrapher_graph::Graph;
+use ugrapher_sim::DeviceConfig;
+use ugrapher_tensor::Tensor2;
+
+fn test_graph() -> Graph {
+    by_abbrev("PU").unwrap().build(Scale::Ratio(0.05))
+}
+
+fn bench_measure_per_strategy(c: &mut Criterion) {
+    let graph = test_graph();
+    let op = OpInfo::aggregation_sum();
+    let feat = 32;
+    let mut group = c.benchmark_group("measure_full_fidelity");
+    for strategy in Strategy::ALL {
+        let plan = KernelPlan::generate(
+            op,
+            ParallelInfo::basic(strategy),
+            graph.num_vertices(),
+            graph.num_edges(),
+            feat,
+        )
+        .unwrap();
+        let options = MeasureOptions::new(DeviceConfig::v100());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &plan,
+            |b, plan| b.iter(|| measure(&graph, plan, &options)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_measure_sampled(c: &mut Criterion) {
+    let graph = by_abbrev("AR").unwrap().build(Scale::Ratio(0.05));
+    let op = OpInfo::aggregation_sum();
+    let plan = KernelPlan::generate(
+        op,
+        ParallelInfo::basic(Strategy::ThreadEdge),
+        graph.num_vertices(),
+        graph.num_edges(),
+        32,
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("measure_fidelity");
+    for (name, fidelity) in [("full", Fidelity::Full), ("auto", Fidelity::Auto)] {
+        let options = MeasureOptions {
+            device: DeviceConfig::v100(),
+            fidelity,
+        };
+        group.bench_function(name, |b| b.iter(|| measure(&graph, &plan, &options)));
+    }
+    group.finish();
+}
+
+fn bench_functional_execute(c: &mut Criterion) {
+    let graph = test_graph();
+    let x = Tensor2::full(graph.num_vertices(), 32, 1.0);
+    let operands = OpOperands::single(&x);
+    for (name, op) in [
+        ("aggregation_sum", OpInfo::aggregation_sum()),
+        ("aggregation_max", OpInfo::aggregation_max()),
+    ] {
+        c.bench_function(&format!("execute/{name}"), |b| {
+            b.iter(|| execute(&graph, &op, &operands).unwrap())
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_measure_per_strategy, bench_measure_sampled, bench_functional_execute
+);
+criterion_main!(benches);

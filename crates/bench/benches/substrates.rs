@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the substrate crates: cache model
+//! throughput, GBDT inference latency (the §7.4 overhead bound), graph
+//! generation, GEMM cost-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::tune::{Predictor, PredictorConfig};
+use ugrapher_gbdt::{Gbdt, GbdtParams, TrainSet};
+use ugrapher_graph::generate::{DegreeModel, GraphSpec};
+use ugrapher_sim::{Cache, DeviceConfig};
+use ugrapher_tensor::{GemmCostModel, GemmDevice, Tensor2};
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/stream_64k_lines", |b| {
+        b.iter_with_setup(
+            || Cache::new(6 * 1024 * 1024, 32, 16),
+            |mut cache| {
+                for line in 0..65_536u64 {
+                    cache.access_line(line % 10_000, 1.0);
+                }
+                cache
+            },
+        )
+    });
+}
+
+fn bench_gbdt(c: &mut Criterion) {
+    let rows: Vec<Vec<f64>> = (0..512)
+        .map(|i| (0..16).map(|j| ((i * 31 + j * 7) % 97) as f64).collect())
+        .collect();
+    let targets: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>().ln()).collect();
+    let data = TrainSet::new(rows.clone(), targets).unwrap();
+    let model = Gbdt::fit(&data, &GbdtParams::default());
+    c.bench_function("gbdt/predict", |b| b.iter(|| model.predict(&rows[0])));
+    c.bench_function("gbdt/fit_512x16", |b| {
+        b.iter(|| Gbdt::fit(&data, &GbdtParams { num_trees: 20, ..Default::default() }))
+    });
+}
+
+fn bench_predictor_choose(c: &mut Criterion) {
+    // The §7.4 bound: one schedule prediction well under 0.2 ms.
+    let predictor = Predictor::train(&PredictorConfig::quick(DeviceConfig::v100()));
+    let graph = ugrapher_graph::generate::uniform_random(5_000, 40_000, 3);
+    let stats = graph.degree_stats();
+    c.bench_function("predictor/choose", |b| {
+        b.iter(|| predictor.choose(&stats, &OpInfo::aggregation_sum(), 32).unwrap())
+    });
+}
+
+fn bench_graph_generation(c: &mut Criterion) {
+    c.bench_function("generate/100k_edges_lognormal", |b| {
+        b.iter(|| {
+            GraphSpec {
+                num_vertices: 20_000,
+                num_edges: 100_000,
+                degree_model: DegreeModel::TargetStd { std: 10.0 },
+                locality: 0.5,
+                seed: 1,
+            }
+            .build()
+        })
+    });
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let a = Tensor2::from_fn(512, 128, |r, q| ((r + q) % 7) as f32);
+    let w = Tensor2::from_fn(128, 64, |r, q| ((r * q) % 5) as f32);
+    c.bench_function("gemm/512x128x64", |b| b.iter(|| a.matmul(&w).unwrap()));
+    let model = GemmCostModel::new(GemmDevice::v100());
+    c.bench_function("gemm_cost/eval", |b| b.iter(|| model.time_ms(100_000, 64, 64)));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cache, bench_gbdt, bench_predictor_choose, bench_graph_generation, bench_gemm
+);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Simulator self-calibration report: achieved vs nominal primitive rates
+//! on both device models (DESIGN.md §2's credibility check for the GPU
+//! substitution).
+
+use ugrapher_bench::print_table;
+use ugrapher_sim::calibrate::calibrate;
+use ugrapher_sim::DeviceConfig;
+
+fn main() {
+    for device in [DeviceConfig::v100(), DeviceConfig::a100()] {
+        let rows: Vec<Vec<String>> = calibrate(&device)
+            .into_iter()
+            .map(|p| {
+                vec![
+                    p.name.to_owned(),
+                    format!("{:.1} {}", p.nominal, p.unit),
+                    format!("{:.1} {}", p.achieved, p.unit),
+                    format!("{:.3}", p.ratio()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Simulator calibration ({})", device.name),
+            &["microbenchmark", "nominal", "achieved", "ratio"],
+            &rows,
+        );
+    }
+    println!("\nratios near 1.0 mean the timing model reproduces the device sheet rates.");
+}

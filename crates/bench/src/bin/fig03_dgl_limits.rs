@@ -1,0 +1,65 @@
+//! Fig. 3: limitations of DGL's fixed kernels, feature size 32.
+//!
+//! (a) Achieved occupancy: imbalanced graphs (AR, SB) vs balanced (PR, DD),
+//!     for *weighted-aggr-sum* and *unweighted-aggr-max*;
+//! (b) SM efficiency and L2 hit rate: small graphs (CO, CI) vs large
+//!     (SW, OV).
+//!
+//! All runs use the DGL backend's fixed strategy for aggregations
+//! (warp-vertex) at full trace fidelity.
+
+use ugrapher_bench::{print_table, scale};
+use ugrapher_baselines::DglBackend;
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::api::Runtime;
+use ugrapher_core::exec::Fidelity;
+use ugrapher_graph::datasets::by_abbrev;
+use ugrapher_sim::DeviceConfig;
+
+const FEAT: usize = 32;
+
+fn main() {
+    let rt = Runtime::new(DeviceConfig::v100()).with_fidelity(Fidelity::Full);
+    let ops = [
+        ("weighted-aggr-sum", OpInfo::weighted_aggregation_sum()),
+        ("unweighted-aggr-max", OpInfo::aggregation_max()),
+    ];
+
+    let mut rows = Vec::new();
+    for abbrev in ["AR", "SB", "PR", "DD", "CO", "CI", "SW", "OV"] {
+        let info = by_abbrev(abbrev).unwrap();
+        let graph = info.build(scale());
+        let group = match abbrev {
+            "AR" | "SB" => "imbalanced",
+            "PR" | "DD" => "balanced",
+            "CO" | "CI" => "small",
+            _ => "large",
+        };
+        for (name, op) in &ops {
+            let strategy = DglBackend::strategy_for(op);
+            let report = rt
+                .measure_only(&graph, op, FEAT, strategy)
+                .expect("fig3 ops are valid");
+            rows.push(vec![
+                abbrev.to_owned(),
+                group.to_owned(),
+                (*name).to_owned(),
+                format!("{:.3}", report.achieved_occupancy),
+                format!("{:.3}", report.sm_efficiency),
+                format!("{:.3}", report.l2_hit_rate),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 3: DGL kernel limitations (feature 32, V100, fixed warp-vertex kernel)",
+        &["dataset", "group", "operator", "occupancy", "sm_eff", "l2_hit"],
+        &rows,
+    );
+
+    println!(
+        "\npaper findings to check against:\n\
+         - occupancy: imbalanced (AR, SB) < balanced (PR, DD), esp. for the light max op\n\
+         - sm efficiency: small (CO, CI) < large (SW, OV)\n\
+         - l2 hit rate:   small (CO, CI) > large (SW, OV)"
+    );
+}

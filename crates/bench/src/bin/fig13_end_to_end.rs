@@ -1,0 +1,61 @@
+//! Fig. 13: end-to-end inference time of DGL, PyG, GNNAdvisor and uGrapher
+//! across models and datasets, on both GPUs. Prints absolute times per
+//! (device, model) block — one row per dataset, one column per system —
+//! and the geometric-mean speedups the paper headline reports.
+//!
+//! Results are cached in `results/sweep.json` for the Figs. 1/14/15
+//! aggregation binaries.
+
+use ugrapher_bench::sweep::sweep_cached;
+use ugrapher_bench::{geomean, print_table};
+
+fn main() {
+    let sweep = sweep_cached();
+    let devices = sweep.distinct(|c| &c.device);
+    let models = sweep.distinct(|c| &c.model);
+    let datasets = sweep.distinct(|c| &c.dataset);
+    let systems = sweep.distinct(|c| &c.system);
+
+    for device in &devices {
+        for model in &models {
+            let mut rows = Vec::new();
+            for dataset in &datasets {
+                let mut row = vec![dataset.clone()];
+                for system in &systems {
+                    row.push(match sweep.time(device, model, dataset, system) {
+                        Some(t) => format!("{t:.4}"),
+                        None => "-".to_owned(),
+                    });
+                }
+                rows.push(row);
+            }
+            let headers: Vec<&str> = std::iter::once("dataset")
+                .chain(systems.iter().map(|s| s.as_str()))
+                .collect();
+            print_table(
+                &format!("Fig. 13: end-to-end time (ms), {model} on {device}"),
+                &headers,
+                &rows,
+            );
+        }
+    }
+
+    println!("\n== geometric-mean speedup of uGrapher ==");
+    for device in &devices {
+        for system in &systems {
+            if system == "ugrapher" {
+                continue;
+            }
+            let speedups = sweep.speedups_over(device, system);
+            println!(
+                "  {device} vs {system:<11} {:.2}x over {} cells",
+                geomean(&speedups),
+                speedups.len()
+            );
+        }
+    }
+    println!(
+        "\npaper (full-scale hardware): V100 3.04/3.75/1.76x and A100 4.07/5.13/2.04x\n\
+         over DGL/PyG/GNNAdvisor respectively; expect the same ordering here."
+    );
+}

@@ -1,0 +1,52 @@
+//! Fig. 14: per-model speedup of uGrapher over each baseline, geometric
+//! mean across datasets, per GPU. Reuses the cached Fig. 13 sweep.
+//!
+//! Paper finding: models dominated by graph operators (GCN, SageMean) show
+//! larger speedups; GEMM-heavy SageMax shows the smallest.
+
+use ugrapher_bench::sweep::sweep_cached;
+use ugrapher_bench::{geomean, print_table};
+
+fn main() {
+    let sweep = sweep_cached();
+    let devices = sweep.distinct(|c| &c.device);
+    let models = sweep.distinct(|c| &c.model);
+    let datasets = sweep.distinct(|c| &c.dataset);
+    let systems: Vec<String> = sweep
+        .distinct(|c| &c.system)
+        .into_iter()
+        .filter(|s| s != "ugrapher")
+        .collect();
+
+    for device in &devices {
+        let mut rows = Vec::new();
+        for model in &models {
+            let mut row = vec![model.clone()];
+            for system in &systems {
+                let mut speedups = Vec::new();
+                for dataset in &datasets {
+                    if let (Some(base), Some(ours)) = (
+                        sweep.time(device, model, dataset, system),
+                        sweep.time(device, model, dataset, "ugrapher"),
+                    ) {
+                        speedups.push(base / ours);
+                    }
+                }
+                row.push(if speedups.is_empty() {
+                    "-".to_owned()
+                } else {
+                    format!("{:.2}x", geomean(&speedups))
+                });
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> = std::iter::once("model")
+            .chain(systems.iter().map(|s| s.as_str()))
+            .collect();
+        print_table(
+            &format!("Fig. 14: per-model speedup of uGrapher ({device}, geomean over datasets)"),
+            &headers,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Fig. 15: per-dataset speedup of uGrapher over each baseline, geometric
+//! mean across models, per GPU. Reuses the cached Fig. 13 sweep.
+//!
+//! Paper finding: baselines are competitive only on a narrow band of
+//! datasets; the A100 shows higher uGrapher speedups than the V100 because
+//! its tensor-core GEMMs shrink the dense share of total time.
+
+use ugrapher_bench::sweep::sweep_cached;
+use ugrapher_bench::{geomean, print_table};
+
+fn main() {
+    let sweep = sweep_cached();
+    let devices = sweep.distinct(|c| &c.device);
+    let models = sweep.distinct(|c| &c.model);
+    let datasets = sweep.distinct(|c| &c.dataset);
+    let systems: Vec<String> = sweep
+        .distinct(|c| &c.system)
+        .into_iter()
+        .filter(|s| s != "ugrapher")
+        .collect();
+
+    let mut overall: Vec<(String, String, f64)> = Vec::new();
+    for device in &devices {
+        let mut rows = Vec::new();
+        for dataset in &datasets {
+            let mut row = vec![dataset.clone()];
+            for system in &systems {
+                let mut speedups = Vec::new();
+                for model in &models {
+                    if let (Some(base), Some(ours)) = (
+                        sweep.time(device, model, dataset, system),
+                        sweep.time(device, model, dataset, "ugrapher"),
+                    ) {
+                        speedups.push(base / ours);
+                    }
+                }
+                row.push(if speedups.is_empty() {
+                    "-".to_owned()
+                } else {
+                    format!("{:.2}x", geomean(&speedups))
+                });
+            }
+            rows.push(row);
+        }
+        let headers: Vec<&str> = std::iter::once("dataset")
+            .chain(systems.iter().map(|s| s.as_str()))
+            .collect();
+        print_table(
+            &format!("Fig. 15: per-dataset speedup of uGrapher ({device}, geomean over models)"),
+            &headers,
+            &rows,
+        );
+        for system in &systems {
+            overall.push((
+                device.clone(),
+                system.clone(),
+                geomean(&sweep.speedups_over(device, system)),
+            ));
+        }
+    }
+
+    println!("\n== cross-GPU comparison (paper: A100 speedups exceed V100) ==");
+    for (device, system, s) in &overall {
+        println!("  {device} vs {system:<11} {s:.2}x");
+    }
+}

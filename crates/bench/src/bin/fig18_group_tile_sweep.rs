@@ -1,0 +1,64 @@
+//! Fig. 18: execution time as a function of the grouping (rows) and tiling
+//! (columns) parameters, for each basic strategy — GIN layer-1 aggregation
+//! on TWITTER-Partial, V100. Shows that the knobs' effect depends on the
+//! strategy, so they must be co-tuned.
+
+use ugrapher_bench::{print_table, scale};
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::api::Runtime;
+use ugrapher_core::schedule::{ParallelInfo, Strategy};
+use ugrapher_graph::datasets::by_abbrev;
+use ugrapher_sim::DeviceConfig;
+
+fn main() {
+    let info = by_abbrev("TW").unwrap();
+    let graph = info.build(scale());
+    // GIN L1 aggregation on TW: input feature dim (capped as in the models).
+    let op = OpInfo::aggregation_sum();
+    let feat = 64;
+    let rt = Runtime::new(DeviceConfig::v100());
+
+    let knobs = ParallelInfo::KNOB_VALUES;
+    for strategy in Strategy::ALL {
+        let mut best = f64::INFINITY;
+        let mut grid = Vec::new();
+        for &g in &knobs {
+            let mut row = Vec::new();
+            for &t in &knobs {
+                let time = rt
+                    .measure_only(&graph, &op, feat, ParallelInfo::new(strategy, g, t))
+                    .expect("valid schedule")
+                    .time_ms;
+                best = best.min(time);
+                row.push(time);
+            }
+            grid.push(row);
+        }
+        let rows: Vec<Vec<String>> = knobs
+            .iter()
+            .zip(&grid)
+            .map(|(g, times)| {
+                let mut row = vec![format!("G{g}")];
+                row.extend(times.iter().map(|t| format!("{:.2}", t / best)));
+                row
+            })
+            .collect();
+        let headers: Vec<String> = std::iter::once("grp\\tile".to_owned())
+            .chain(knobs.iter().map(|t| format!("T{t}")))
+            .collect();
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!(
+                "Fig. 18: {} grouping x tiling sweep, GIN L1 on {} (normalized; best of this strategy = 1.0)",
+                strategy.label(),
+                info.name
+            ),
+            &headers_ref,
+            &rows,
+        );
+    }
+    println!(
+        "\npaper claim: the effect of grouping/tiling differs per basic strategy,\n\
+         so fine-grained parameters must be tuned jointly with the strategy."
+    );
+}

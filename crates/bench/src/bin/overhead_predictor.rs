@@ -1,0 +1,49 @@
+//! §7.4 overhead analysis: one schedule prediction must cost well under
+//! 0.2 ms, so running it once before inference is negligible.
+
+use std::time::Instant;
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::tune::{Predictor, PredictorConfig};
+use ugrapher_graph::datasets::{by_abbrev, Scale};
+use ugrapher_sim::DeviceConfig;
+
+fn main() {
+    let config = PredictorConfig::quick(DeviceConfig::v100());
+    let predictor = Predictor::train(&config);
+
+    let graph = by_abbrev("PU").unwrap().build(Scale::Tiny);
+    let stats = graph.degree_stats();
+    let op = OpInfo::aggregation_sum();
+
+    // Warm up, then measure.
+    for _ in 0..100 {
+        let _ = predictor.choose(&stats, &op, 32).unwrap();
+    }
+    let iters = 10_000;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(predictor.choose(&stats, &op, 32).unwrap());
+    }
+    let per_call_ms = t0.elapsed().as_secs_f64() * 1e3 / iters as f64;
+    println!(
+        "schedule prediction: {per_call_ms:.5} ms per call over {} candidate schedules",
+        predictor.schedules().len()
+    );
+    println!("paper bound: < 0.2 ms per prediction — {}", if per_call_ms < 0.2 { "PASS" } else { "FAIL" });
+
+    // Also report the full-space variant used in deployment.
+    let mut full = PredictorConfig::quick(DeviceConfig::v100());
+    full.schedules = ugrapher_core::schedule::ParallelInfo::space();
+    full.num_graphs = 3;
+    let predictor = Predictor::train(&full);
+    let t0 = Instant::now();
+    for _ in 0..1000 {
+        std::hint::black_box(predictor.choose(&stats, &op, 32).unwrap());
+    }
+    let per_call_ms = t0.elapsed().as_secs_f64() * 1e3 / 1000.0;
+    println!(
+        "full 196-schedule space: {per_call_ms:.5} ms per call — {}",
+        if per_call_ms < 0.2 { "PASS" } else { "FAIL" }
+    );
+}

@@ -1,0 +1,70 @@
+//! Table 2: classification of graph operators by input/output tensor type.
+//!
+//! The paper counts the 160 operators DGL ships; we enumerate the legal
+//! combinations of the unified abstraction (Table 4 rules) and report the
+//! census per category — the same qualitative shape: fused aggregation
+//! dominates, all three categories populated.
+
+use ugrapher_bench::print_table;
+use ugrapher_core::abstraction::{registry, OpCategory, TensorType};
+
+fn main() {
+    let ops = registry::all_valid_ops();
+    let census = registry::census();
+
+    let mut rows = Vec::new();
+    for (cat, count) in &census {
+        let name = match cat {
+            OpCategory::MessageCreation => "Message Creation",
+            OpCategory::MessageAggregation => "Message Aggregation",
+            OpCategory::FusedAggregation => "Fused Aggregation",
+        };
+        let inputs: Vec<String> = ops
+            .iter()
+            .filter(|o| o.category() == *cat)
+            .map(|o| format!("{:?}/{:?}", o.a, o.b))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let output = ops
+            .iter()
+            .find(|o| o.category() == *cat)
+            .map(|o| format!("{:?}", o.c))
+            .unwrap_or_default();
+        rows.push(vec![
+            name.to_owned(),
+            inputs.join(", "),
+            output,
+            count.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "total".to_owned(),
+        String::new(),
+        String::new(),
+        ops.len().to_string(),
+    ]);
+
+    print_table(
+        "Table 2: graph-operator census (unified-abstraction combinations)",
+        &["category", "input types (A/B)", "output", "count"],
+        &rows,
+    );
+
+    // Sanity mirror of the paper's Table 2 structure.
+    let fused = census
+        .iter()
+        .find(|(c, _)| *c == OpCategory::FusedAggregation)
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    let aggregation = census
+        .iter()
+        .find(|(c, _)| *c == OpCategory::MessageAggregation)
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    assert!(fused > aggregation, "fused aggregation dominates, as in Table 2");
+    assert!(ops
+        .iter()
+        .all(|o| o.c == TensorType::Edge || o.c == TensorType::DstV));
+    println!("\npaper Table 2 counts: creation 32, aggregation 48, fused 80 (160 DGL ops)");
+}

@@ -1,0 +1,179 @@
+//! # ugrapher-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the full index), plus Criterion
+//! micro-benches. Every binary prints the same rows/series the paper
+//! reports; EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! ## Scale control
+//!
+//! Real Table 3 datasets reach 4.9 M edges; the default harness scale is
+//! `UGRAPHER_SCALE=0.05` (5% of paper size, same degree statistics), which
+//! keeps the full suite in the minutes range. Set `UGRAPHER_SCALE=full` (or
+//! any ratio like `0.25`) to change it. `UGRAPHER_QUICK=1` shrinks dataset
+//! lists for smoke runs.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use ugrapher_baselines::{DglBackend, GnnAdvisorBackend, PygBackend};
+use ugrapher_gnn::{run_inference, GraphOpBackend, ModelConfig, ModelKind, UGrapherBackend};
+use ugrapher_graph::datasets::{DatasetInfo, Scale};
+use ugrapher_graph::Graph;
+use ugrapher_sim::DeviceConfig;
+use ugrapher_tensor::Tensor2;
+
+pub mod sweep;
+
+/// The dataset scale selected by `UGRAPHER_SCALE` (default `0.05`).
+pub fn scale() -> Scale {
+    match std::env::var("UGRAPHER_SCALE").ok().as_deref() {
+        Some("full") | Some("FULL") => Scale::Full,
+        Some(s) => Scale::Ratio(s.parse().unwrap_or(0.05)),
+        None => Scale::Ratio(0.05),
+    }
+}
+
+/// Whether `UGRAPHER_QUICK=1` smoke mode is on.
+pub fn quick() -> bool {
+    std::env::var("UGRAPHER_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The evaluation dataset abbreviations (paper Table 9 uses nine; quick
+/// mode trims to four).
+pub fn eval_datasets() -> Vec<&'static str> {
+    if quick() {
+        vec!["CO", "PR", "AR", "TW"]
+    } else {
+        ugrapher_graph::datasets::groups::EVAL_NINE.to_vec()
+    }
+}
+
+/// Builds a dataset's graph and an input feature tensor at harness scale.
+/// Feature dimensions are capped at 256 so the functional pass on scaled
+/// citation graphs (cora's 1433 features) stays cheap; the cap is recorded
+/// in EXPERIMENTS.md.
+pub fn load(dataset: &DatasetInfo) -> (Graph, Tensor2) {
+    let graph = dataset.build(scale());
+    let feat = dataset.feature_dim.min(256);
+    let x = Tensor2::from_fn(graph.num_vertices(), feat, |r, c| {
+        ((r * 31 + c * 7) % 23) as f32 * 0.03
+    });
+    (graph, x)
+}
+
+/// The four systems of the comparison, in the paper's order.
+pub fn backends(device: &DeviceConfig) -> Vec<Box<dyn GraphOpBackend>> {
+    vec![
+        Box::new(DglBackend::new(device.clone())),
+        Box::new(PygBackend::new(device.clone())),
+        Box::new(GnnAdvisorBackend::new(device.clone())),
+        Box::new(UGrapherBackend::new(device.clone())),
+    ]
+}
+
+/// Runs one (model, dataset, backend) cell of the Fig. 13 sweep, returning
+/// total inference time in ms, or `None` if the backend does not support
+/// the model (GNNAdvisor beyond GCN/GIN — the paper's missing bars).
+pub fn end_to_end_ms(
+    kind: ModelKind,
+    graph: &Graph,
+    x: &Tensor2,
+    num_classes: usize,
+    backend: &dyn GraphOpBackend,
+) -> Option<f64> {
+    if !backend.supports(kind) {
+        return None;
+    }
+    let model = ModelConfig::paper_default(kind);
+    let res = run_inference(&model, graph, x, num_classes, backend)
+        .unwrap_or_else(|e| panic!("{} on {kind:?} failed: {e}", backend.name()));
+    Some(res.total_ms())
+}
+
+/// Geometric mean of positive values; 0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Directory where figure binaries persist their JSON results
+/// (`results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("can create results dir");
+    dir
+}
+
+/// Saves a serializable result under `results/<name>.json`.
+pub fn save_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("can create results file");
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    f.write_all(json.as_bytes()).expect("can write results file");
+    println!("[saved {}]", path.display());
+}
+
+/// Loads a previously saved result, if present and parseable.
+pub fn load_json<T: DeserializeOwned>(name: &str) -> Option<T> {
+    let path = results_dir().join(format!("{name}.json"));
+    let data = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_dataset_abbrevs_resolve() {
+        for a in eval_datasets() {
+            assert!(ugrapher_graph::datasets::by_abbrev(a).is_some());
+        }
+    }
+
+    #[test]
+    fn backends_come_in_paper_order() {
+        let b = backends(&DeviceConfig::v100());
+        let names: Vec<_> = b.iter().map(|x| x.name()).collect();
+        assert_eq!(names, vec!["dgl", "pyg", "gnnadvisor", "ugrapher"]);
+    }
+}

@@ -1,0 +1,430 @@
+//! The unified `uGrapher` API (paper §5.1, Fig. 9).
+//!
+//! ```text
+//! op_info       = [edge_op, gather_op, Tensor_A, A_Type, Tensor_B, B_Type,
+//!                  Tensor_C, C_Type]
+//! parallel_info = [parallel_strategy, Grouping_Param, Tiling_Param]
+//! uGrapher(Graph_Tensor, op_info, parallel_info)
+//! ```
+//!
+//! In this reproduction, `op_info` is an [`OpArgs`] (an [`OpInfo`] plus the
+//! operand tensors), `parallel_info` is an optional
+//! [`ParallelInfo`], and omitting it triggers automatic schedule selection
+//! exactly as the paper describes ("when users do not specify any
+//! parallelization strategy, our interface performs an automatic tuning to
+//! find the optimal strategy").
+
+use ugrapher_graph::{DegreeStats, Graph};
+use ugrapher_sim::{DeviceConfig, SimReport};
+use ugrapher_tensor::Tensor2;
+
+use crate::abstraction::OpInfo;
+use crate::exec::{execute, functional, measure, Fidelity, MeasureOptions, OpOperands};
+use crate::plan::KernelPlan;
+use crate::schedule::ParallelInfo;
+use crate::tune::Predictor;
+use crate::CoreError;
+
+/// The graph operand of the uGrapher API, with cached degree statistics
+/// (the predictor's graph features).
+#[derive(Debug, Clone)]
+pub struct GraphTensor<'a> {
+    graph: &'a Graph,
+    stats: DegreeStats,
+}
+
+impl<'a> GraphTensor<'a> {
+    /// Wraps a graph, computing its degree statistics once.
+    pub fn new(graph: &'a Graph) -> Self {
+        Self {
+            graph,
+            stats: graph.degree_stats(),
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Cached degree statistics.
+    pub fn stats(&self) -> &DegreeStats {
+        &self.stats
+    }
+}
+
+/// The paper's `op_info` argument: operator semantics plus operand tensors.
+#[derive(Debug, Clone, Copy)]
+pub struct OpArgs<'a> {
+    /// Operator semantics (edge op, gather op, operand types).
+    pub op: OpInfo,
+    /// Operand tensors matching the operator's A/B types.
+    pub operands: OpOperands<'a>,
+}
+
+impl<'a> OpArgs<'a> {
+    /// A unary operator (B is Null), e.g. fused aggregation over vertex
+    /// features.
+    pub fn fused(op: OpInfo, a: &'a Tensor2) -> Self {
+        Self {
+            op,
+            operands: OpOperands::single(a),
+        }
+    }
+
+    /// A binary operator with both operands.
+    pub fn binary(op: OpInfo, a: &'a Tensor2, b: &'a Tensor2) -> Self {
+        Self {
+            op,
+            operands: OpOperands::pair(a, b),
+        }
+    }
+}
+
+/// The result of one uGrapher invocation.
+#[derive(Debug, Clone)]
+pub struct UGrapherResult {
+    /// The output tensor (edge or destination-vertex embedding).
+    pub output: Tensor2,
+    /// Simulated performance of the chosen kernel.
+    pub report: SimReport,
+    /// The schedule that was executed (chosen automatically if the caller
+    /// passed `None`).
+    pub schedule: ParallelInfo,
+}
+
+/// An execution context: target device plus optional trained predictor.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    device: DeviceConfig,
+    fidelity: Fidelity,
+    predictor: Option<Predictor>,
+    search_space: Option<Vec<ParallelInfo>>,
+}
+
+impl Runtime {
+    /// A runtime for the given device, using grid search for auto-tuning.
+    pub fn new(device: DeviceConfig) -> Self {
+        Self {
+            device,
+            fidelity: Fidelity::Auto,
+            predictor: None,
+            search_space: None,
+        }
+    }
+
+    /// Restricts grid-search auto-tuning to the given candidate schedules
+    /// (e.g. the four basic strategies for a quick pass).
+    pub fn with_search_space(mut self, candidates: Vec<ParallelInfo>) -> Self {
+        self.search_space = Some(candidates);
+        self
+    }
+
+    /// Installs a trained predictor; auto-tuning then uses it instead of
+    /// grid search.
+    pub fn with_predictor(mut self, predictor: Predictor) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Sets the trace fidelity used for measurement.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// The device this runtime simulates.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// Picks a schedule for `(op, graph, feat)`: the predictor if one is
+    /// installed, otherwise sampled grid search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the operator is invalid.
+    pub fn choose_schedule(
+        &self,
+        graph: &GraphTensor<'_>,
+        op: &OpInfo,
+        feat: usize,
+    ) -> Result<ParallelInfo, CoreError> {
+        self.choose_schedule_shaped(graph, op, feat, (false, false))
+    }
+
+    /// [`Runtime::choose_schedule`] with explicit operand shapes, so grid
+    /// search costs scalar-broadcast operands as they will actually run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the operator is invalid.
+    pub fn choose_schedule_shaped(
+        &self,
+        graph: &GraphTensor<'_>,
+        op: &OpInfo,
+        feat: usize,
+        scalars: (bool, bool),
+    ) -> Result<ParallelInfo, CoreError> {
+        if let Some(p) = &self.predictor {
+            p.choose(graph.stats(), op, feat)
+        } else {
+            let options = MeasureOptions {
+                device: self.device.clone(),
+                fidelity: Fidelity::Auto,
+            };
+            let space;
+            let candidates: &[ParallelInfo] = match &self.search_space {
+                Some(c) => c,
+                None => {
+                    space = ParallelInfo::space();
+                    &space
+                }
+            };
+            Ok(crate::tune::grid_search_shaped(
+                graph.graph(),
+                op,
+                feat,
+                scalars,
+                &options,
+                candidates,
+            )?
+            .best)
+        }
+    }
+
+    /// Executes one graph operator: functional evaluation plus simulated
+    /// performance measurement under the chosen schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on invalid operators or mismatched operands.
+    pub fn run(
+        &self,
+        graph: &GraphTensor<'_>,
+        args: &OpArgs<'_>,
+        parallel: Option<ParallelInfo>,
+    ) -> Result<UGrapherResult, CoreError> {
+        let feat = functional::check_shapes(graph.graph(), &args.op, &args.operands)?;
+        let scalar = |t: Option<&Tensor2>| t.is_some_and(|t| t.cols() == 1) && feat > 1;
+        let scalars = (scalar(args.operands.a), scalar(args.operands.b));
+        let schedule = match parallel {
+            Some(p) => p,
+            None => self.choose_schedule_shaped(graph, &args.op, feat, scalars)?,
+        };
+        let plan = KernelPlan::generate(
+            args.op,
+            schedule,
+            graph.graph().num_vertices(),
+            graph.graph().num_edges(),
+            feat,
+        )?
+        .with_scalar_operands(scalars.0, scalars.1);
+        let output = execute(graph.graph(), &args.op, &args.operands)?;
+        let report = measure(
+            graph.graph(),
+            &plan,
+            &MeasureOptions {
+                device: self.device.clone(),
+                fidelity: self.fidelity,
+            },
+        );
+        Ok(UGrapherResult {
+            output,
+            report,
+            schedule,
+        })
+    }
+
+    /// Measures a schedule without producing outputs (used by tuners and
+    /// benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the operator is invalid or `feat == 0`.
+    pub fn measure_only(
+        &self,
+        graph: &Graph,
+        op: &OpInfo,
+        feat: usize,
+        parallel: ParallelInfo,
+    ) -> Result<SimReport, CoreError> {
+        let plan =
+            KernelPlan::generate(*op, parallel, graph.num_vertices(), graph.num_edges(), feat)?;
+        Ok(measure(
+            graph,
+            &plan,
+            &MeasureOptions {
+                device: self.device.clone(),
+                fidelity: self.fidelity,
+            },
+        ))
+    }
+}
+
+/// The paper's three-argument entry point (Fig. 9), on a default V100
+/// runtime. Passing `None` for `parallel_info` triggers auto-tuning.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid operators or mismatched operands.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_core::abstraction::OpInfo;
+/// use ugrapher_core::api::{uGrapher, GraphTensor, OpArgs};
+/// use ugrapher_core::schedule::{ParallelInfo, Strategy};
+/// use ugrapher_graph::generate::ring;
+/// use ugrapher_tensor::Tensor2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = ring(64);
+/// let x = Tensor2::full(64, 4, 2.0);
+/// let result = uGrapher(
+///     &GraphTensor::new(&graph),
+///     &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+///     Some(ParallelInfo::basic(Strategy::WarpEdge)),
+/// )?;
+/// assert_eq!(result.output[(5, 0)], 2.0);
+/// # Ok(())
+/// # }
+/// ```
+#[allow(non_snake_case)]
+pub fn uGrapher(
+    graph_tensor: &GraphTensor<'_>,
+    op_info: &OpArgs<'_>,
+    parallel_info: Option<ParallelInfo>,
+) -> Result<UGrapherResult, CoreError> {
+    Runtime::new(DeviceConfig::v100()).run(graph_tensor, op_info, parallel_info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Strategy;
+    use ugrapher_graph::generate::uniform_random;
+
+    #[test]
+    fn run_with_explicit_schedule() {
+        let g = uniform_random(100, 500, 1);
+        let x = Tensor2::full(100, 8, 1.0);
+        let gt = GraphTensor::new(&g);
+        let rt = Runtime::new(DeviceConfig::v100());
+        let res = rt
+            .run(
+                &gt,
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                Some(ParallelInfo::basic(Strategy::ThreadEdge)),
+            )
+            .unwrap();
+        assert_eq!(res.schedule, ParallelInfo::basic(Strategy::ThreadEdge));
+        assert!(res.report.time_ms > 0.0);
+        // Every vertex's output is its in-degree (features are all 1).
+        for v in 0..100 {
+            assert_eq!(res.output[(v, 0)], g.in_degree(v) as f32);
+        }
+    }
+
+    #[test]
+    fn output_is_schedule_independent() {
+        let g = uniform_random(150, 900, 2);
+        let x = Tensor2::from_fn(150, 4, |r, c| ((r * 7 + c) % 13) as f32);
+        let gt = GraphTensor::new(&g);
+        let rt = Runtime::new(DeviceConfig::v100());
+        let args = OpArgs::fused(OpInfo::aggregation_max(), &x);
+        let mut outputs = Vec::new();
+        for p in ParallelInfo::basics() {
+            outputs.push(rt.run(&gt, &args, Some(p)).unwrap().output);
+        }
+        for o in &outputs[1..] {
+            assert_eq!(o, &outputs[0]);
+        }
+    }
+
+    #[test]
+    fn auto_tuning_picks_a_valid_schedule() {
+        let g = uniform_random(200, 1000, 3);
+        let x = Tensor2::full(200, 8, 1.0);
+        let res = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+            None,
+        )
+        .unwrap();
+        assert!(ParallelInfo::space().contains(&res.schedule));
+    }
+
+    #[test]
+    fn binary_op_through_api() {
+        let g = uniform_random(80, 400, 4);
+        let x = Tensor2::full(80, 8, 3.0);
+        let w = Tensor2::full(400, 8, 0.5);
+        let res = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::binary(OpInfo::weighted_aggregation_sum(), &x, &w),
+            Some(ParallelInfo::basic(Strategy::WarpVertex)),
+        )
+        .unwrap();
+        for v in 0..80 {
+            assert_eq!(res.output[(v, 0)], 1.5 * g.in_degree(v) as f32);
+        }
+    }
+
+    #[test]
+    fn scalar_edge_weights_broadcast() {
+        // GCN-style: per-edge scalar weight multiplying a full feature row.
+        let g = uniform_random(60, 300, 9);
+        let x = Tensor2::full(60, 8, 2.0);
+        let w = Tensor2::full(300, 1, 0.25);
+        let res = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::binary(OpInfo::weighted_aggregation_sum(), &x, &w),
+            Some(ParallelInfo::basic(Strategy::ThreadEdge)),
+        )
+        .unwrap();
+        assert_eq!(res.output.cols(), 8);
+        for v in 0..60 {
+            assert_eq!(res.output[(v, 3)], 0.5 * g.in_degree(v) as f32);
+        }
+        // Scalar operand moves less data than a full-width one.
+        let wide = Tensor2::full(300, 8, 0.25);
+        let res_wide = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::binary(OpInfo::weighted_aggregation_sum(), &x, &wide),
+            Some(ParallelInfo::basic(Strategy::ThreadEdge)),
+        )
+        .unwrap();
+        assert!(res.report.l1_transactions < res_wide.report.l1_transactions);
+        assert_eq!(res.output, res_wide.output);
+    }
+
+    #[test]
+    fn mismatched_operands_error() {
+        let g = uniform_random(50, 250, 5);
+        let wrong = Tensor2::full(49, 8, 1.0);
+        let err = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_sum(), &wrong),
+            Some(ParallelInfo::basic(Strategy::ThreadVertex)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadOperand { .. }));
+    }
+
+    #[test]
+    fn measure_only_matches_run_report_shape() {
+        let g = uniform_random(120, 600, 6);
+        let rt = Runtime::new(DeviceConfig::a100());
+        let r = rt
+            .measure_only(
+                &g,
+                &OpInfo::aggregation_sum(),
+                16,
+                ParallelInfo::basic(Strategy::WarpEdge),
+            )
+            .unwrap();
+        assert!(r.time_ms > 0.0);
+        assert!(r.atomic_ops > 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Calibration constants of the kernel cost model.
+//!
+//! These are the per-instruction costs the trace generator charges while
+//! walking a schedule. They play the role of the instruction mix of the
+//! paper's generated CUDA kernels: copies cost nothing (the fusion pass
+//! removed them), arithmetic costs issue slots, every memory instruction
+//! carries address-generation work, and the fine-grained knobs carry the
+//! bookkeeping overhead the paper attributes to them (paper §4.2:
+//! "grouping ... reduces work-efficiency owing to the additional group
+//! computation overhead"; "feature tiling ... reduces work-efficiency
+//! because of the extra address calculation").
+
+/// Warp-cycles per arithmetic warp instruction.
+pub const CYCLES_PER_ARITH: f64 = 1.0;
+
+/// Warp-cycles of address generation + issue per memory warp instruction.
+pub const CYCLES_PER_MEM_ISSUE: f64 = 2.0;
+
+/// Warp-cycles of loop bookkeeping per edge iteration.
+pub const CYCLES_LOOP: f64 = 2.0;
+
+/// Extra warp-cycles per V/E group processed (group index computation).
+pub const CYCLES_GROUP_OVERHEAD: f64 = 3.0;
+
+/// Extra warp-cycles per work item when feature tiling is enabled (tile
+/// base address computation).
+pub const CYCLES_TILE_OVERHEAD: f64 = 4.0;
+
+/// Extra warp-cycles per atomic instruction issued (read-modify-write setup
+/// on top of the L2 serialization modeled by the simulator).
+pub const CYCLES_ATOMIC_ISSUE: f64 = 4.0;
+
+/// Threads per block used by all generated kernels (matching the fixed
+/// block size of the paper's templates).
+pub const THREADS_PER_BLOCK: usize = 256;
+
+/// Baseline register usage per thread for a generated kernel.
+pub const BASE_REGS_PER_THREAD: usize = 24;

@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::abstraction::{OpInfo, TensorType};
+
+/// Errors produced by operator validation and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The `(edge_op, gather_op, A, B, C)` combination is not a legal graph
+    /// operator under the Table 4 rules.
+    InvalidOperator {
+        /// The rejected operator.
+        op: OpInfo,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A tensor operand required by the operator was not supplied, or has
+    /// the wrong number of rows for its [`TensorType`].
+    BadOperand {
+        /// Which operand (`'A'`, `'B'` or `'C'`).
+        operand: char,
+        /// Its declared type.
+        tensor_type: TensorType,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Operand feature dimensions disagree.
+    FeatureMismatch {
+        /// Feature dimension of the first non-null operand.
+        expected: usize,
+        /// The mismatching dimension found.
+        found: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidOperator { op, reason } => {
+                write!(f, "invalid graph operator {op:?}: {reason}")
+            }
+            CoreError::BadOperand {
+                operand,
+                tensor_type,
+                reason,
+            } => write!(f, "bad operand {operand} ({tensor_type:?}): {reason}"),
+            CoreError::FeatureMismatch { expected, found } => {
+                write!(f, "feature dimension mismatch: expected {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::OpInfo;
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = CoreError::InvalidOperator {
+            op: OpInfo::aggregation_sum(),
+            reason: "test".into(),
+        };
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,373 @@
+//! Schedule-independent functional evaluation of graph operators.
+
+use ugrapher_graph::Graph;
+use ugrapher_tensor::Tensor2;
+
+use crate::abstraction::{GatherOp, OpInfo, TensorType};
+use crate::CoreError;
+
+/// The tensor operands of one operator invocation (matching the `Tensor_A`
+/// / `Tensor_B` arguments of the paper's API, Fig. 9).
+#[derive(Debug, Clone, Copy)]
+pub struct OpOperands<'a> {
+    /// Operand A (present iff `op.a != Null`).
+    pub a: Option<&'a Tensor2>,
+    /// Operand B (present iff `op.b != Null`).
+    pub b: Option<&'a Tensor2>,
+}
+
+impl<'a> OpOperands<'a> {
+    /// Operands for a unary operator (B is `Null`).
+    pub fn single(a: &'a Tensor2) -> Self {
+        Self { a: Some(a), b: None }
+    }
+
+    /// Operands for a binary operator.
+    pub fn pair(a: &'a Tensor2, b: &'a Tensor2) -> Self {
+        Self {
+            a: Some(a),
+            b: Some(b),
+        }
+    }
+}
+
+/// Validates one operand against its declared type and the graph shape;
+/// returns its feature dimension if present.
+fn check_operand(
+    operand: char,
+    tensor_type: TensorType,
+    tensor: Option<&Tensor2>,
+    graph: &Graph,
+) -> Result<Option<usize>, CoreError> {
+    let expected_rows = match tensor_type {
+        TensorType::SrcV | TensorType::DstV => graph.num_vertices(),
+        TensorType::Edge => graph.num_edges(),
+        TensorType::Null => {
+            return if tensor.is_some() {
+                Err(CoreError::BadOperand {
+                    operand,
+                    tensor_type,
+                    reason: "tensor supplied for a Null operand".to_owned(),
+                })
+            } else {
+                Ok(None)
+            }
+        }
+    };
+    let Some(t) = tensor else {
+        return Err(CoreError::BadOperand {
+            operand,
+            tensor_type,
+            reason: "operand tensor missing".to_owned(),
+        });
+    };
+    if t.rows() != expected_rows {
+        return Err(CoreError::BadOperand {
+            operand,
+            tensor_type,
+            reason: format!("expected {expected_rows} rows, found {}", t.rows()),
+        });
+    }
+    Ok(Some(t.cols()))
+}
+
+/// Validates operands and returns the common feature dimension.
+///
+/// An operand with a single column against a wider partner is a *scalar
+/// broadcast* (DGL's `u_mul_e`-style semantics, e.g. one weight per edge
+/// multiplying a full feature row).
+pub(crate) fn check_shapes(
+    graph: &Graph,
+    op: &OpInfo,
+    operands: &OpOperands<'_>,
+) -> Result<usize, CoreError> {
+    op.validate()?;
+    let fa = check_operand('A', op.a, operands.a, graph)?;
+    let fb = check_operand('B', op.b, operands.b, graph)?;
+    let feat = match (fa, fb) {
+        (Some(x), Some(y)) if x != y && x != 1 && y != 1 => {
+            return Err(CoreError::FeatureMismatch {
+                expected: x,
+                found: y,
+            })
+        }
+        (Some(x), Some(y)) => x.max(y),
+        (Some(x), None) | (None, Some(x)) => x,
+        (None, None) => unreachable!("validate() requires at least one operand"),
+    };
+    if feat == 0 {
+        return Err(CoreError::FeatureMismatch {
+            expected: 1,
+            found: 0,
+        });
+    }
+    Ok(feat)
+}
+
+/// Evaluates `op` over the graph, producing the output tensor.
+///
+/// The result is independent of any schedule: this is the reference
+/// semantics against which every scheduled execution is defined.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid or the operands'
+/// shapes do not match their declared [`TensorType`]s.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_core::abstraction::OpInfo;
+/// use ugrapher_core::exec::{execute, OpOperands};
+/// use ugrapher_graph::Graph;
+/// use ugrapher_tensor::Tensor2;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::from_edges(3, vec![0, 1], vec![2, 2])?;
+/// let x = Tensor2::from_fn(3, 2, |r, _| r as f32);
+/// let out = execute(&g, &OpInfo::aggregation_sum(), &OpOperands::single(&x))?;
+/// assert_eq!(out.row(2), &[1.0, 1.0]); // 0 + 1 from both in-neighbors
+/// # Ok(())
+/// # }
+/// ```
+pub fn execute(
+    graph: &Graph,
+    op: &OpInfo,
+    operands: &OpOperands<'_>,
+) -> Result<Tensor2, CoreError> {
+    let feat = check_shapes(graph, op, operands)?;
+    let nv = graph.num_vertices();
+    let ne = graph.num_edges();
+    let out_rows = match op.c {
+        TensorType::Edge => ne,
+        TensorType::DstV => nv,
+        _ => unreachable!("validate() restricts C"),
+    };
+
+    let init = if op.gather_op.is_reduction() {
+        op.gather_op.identity()
+    } else {
+        0.0
+    };
+    let mut out = Tensor2::full(out_rows, feat, init);
+
+    fn fetch_row(
+        t: TensorType,
+        tensor: Option<&Tensor2>,
+        src: u32,
+        dst: usize,
+        eid: u32,
+    ) -> Option<&[f32]> {
+        tensor.map(|ten| match t {
+            TensorType::SrcV => ten.row(src as usize),
+            TensorType::DstV => ten.row(dst),
+            TensorType::Edge => ten.row(eid as usize),
+            TensorType::Null => unreachable!(),
+        })
+    }
+
+    for dst in 0..nv {
+        for (src, eid) in graph.in_neighbors(dst) {
+            let a_row = fetch_row(op.a, operands.a, src, dst, eid);
+            let b_row = fetch_row(op.b, operands.b, src, dst, eid);
+            let c_row_idx = match op.c {
+                TensorType::Edge => eid as usize,
+                _ => dst,
+            };
+            let c_row = out.row_mut(c_row_idx);
+            for f in 0..feat {
+                // A one-column operand broadcasts its single value.
+                let av = a_row.map_or(0.0, |r| r[f.min(r.len() - 1)]);
+                let bv = b_row.map_or(0.0, |r| r[f.min(r.len() - 1)]);
+                let tmp = op.edge_op.apply(av, bv);
+                c_row[f] = op.gather_op.apply(c_row[f], tmp);
+            }
+        }
+    }
+
+    // Post-passes over vertex outputs: mean normalization and the
+    // zero-default for reduction identities on isolated vertices.
+    if op.c == TensorType::DstV {
+        for dst in 0..nv {
+            let deg = graph.in_degree(dst);
+            let row = out.row_mut(dst);
+            if deg == 0 {
+                row.fill(0.0);
+            } else if op.gather_op == GatherOp::Mean {
+                let inv = 1.0 / deg as f32;
+                for v in row.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{EdgeOp, GatherOp};
+
+    /// 0 -> 2, 1 -> 2, 2 -> 0 triangle-ish graph used across tests.
+    fn graph() -> Graph {
+        Graph::from_edges(3, vec![0, 1, 2], vec![2, 2, 0]).unwrap()
+    }
+
+    fn feats() -> Tensor2 {
+        Tensor2::from_fn(3, 2, |r, c| (r * 10 + c) as f32)
+    }
+
+    #[test]
+    fn aggregation_sum_matches_hand_computation() {
+        let out = execute(
+            &graph(),
+            &OpInfo::aggregation_sum(),
+            &OpOperands::single(&feats()),
+        )
+        .unwrap();
+        // dst 2 <- src 0 (0,1) + src 1 (10,11) = (10, 12)
+        assert_eq!(out.row(2), &[10.0, 12.0]);
+        // dst 0 <- src 2 (20, 21)
+        assert_eq!(out.row(0), &[20.0, 21.0]);
+        // dst 1 has no in-edges -> zeros
+        assert_eq!(out.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn aggregation_max_and_isolated_vertices() {
+        let out = execute(
+            &graph(),
+            &OpInfo::aggregation_max(),
+            &OpOperands::single(&feats()),
+        )
+        .unwrap();
+        assert_eq!(out.row(2), &[10.0, 11.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0], "isolated vertex defaults to 0");
+    }
+
+    #[test]
+    fn aggregation_mean_divides_by_degree() {
+        let out = execute(
+            &graph(),
+            &OpInfo::aggregation_mean(),
+            &OpOperands::single(&feats()),
+        )
+        .unwrap();
+        assert_eq!(out.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn weighted_sum_uses_edge_tensor() {
+        let g = graph();
+        let w = Tensor2::from_fn(3, 2, |r, _| (r + 1) as f32); // per-edge weights
+        let out = execute(
+            &g,
+            &OpInfo::weighted_aggregation_sum(),
+            &OpOperands::pair(&feats(), &w),
+        )
+        .unwrap();
+        // dst 2: edge0 (src0 * 1) + edge1 (src1 * 2) = (0,1) + (20,22)
+        assert_eq!(out.row(2), &[20.0, 23.0]);
+    }
+
+    #[test]
+    fn message_creation_writes_per_edge() {
+        let g = graph();
+        let out = execute(
+            &g,
+            &OpInfo::message_creation_add(),
+            &OpOperands::pair(&feats(), &feats()),
+        )
+        .unwrap();
+        assert_eq!(out.rows(), g.num_edges());
+        // edge 0: src 0 + dst 2 = (0+20, 1+21)
+        assert_eq!(out.row(0), &[20.0, 22.0]);
+    }
+
+    #[test]
+    fn min_gather() {
+        let op = OpInfo::new(
+            EdgeOp::CopyLhs,
+            GatherOp::Min,
+            TensorType::SrcV,
+            TensorType::Null,
+            TensorType::DstV,
+        )
+        .unwrap();
+        let out = execute(&graph(), &op, &OpOperands::single(&feats())).unwrap();
+        assert_eq!(out.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn shape_validation_rejects_wrong_rows() {
+        let bad = Tensor2::zeros(5, 2);
+        let err = execute(
+            &graph(),
+            &OpInfo::aggregation_sum(),
+            &OpOperands::single(&bad),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadOperand { operand: 'A', .. }));
+    }
+
+    #[test]
+    fn shape_validation_rejects_feature_mismatch() {
+        let a = Tensor2::zeros(3, 2);
+        let b = Tensor2::zeros(3, 3);
+        let err = execute(
+            &graph(),
+            &OpInfo::message_creation_add(),
+            &OpOperands::pair(&a, &b),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FeatureMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_operand_rejected() {
+        let err = execute(
+            &graph(),
+            &OpInfo::weighted_aggregation_sum(),
+            &OpOperands::single(&feats()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadOperand { operand: 'B', .. }));
+    }
+
+    #[test]
+    fn superfluous_operand_rejected() {
+        let err = execute(
+            &graph(),
+            &OpInfo::aggregation_sum(),
+            &OpOperands::pair(&feats(), &feats()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BadOperand { operand: 'B', .. }));
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_output() {
+        let g = Graph::from_edges(0, vec![], vec![]).unwrap();
+        let x = Tensor2::zeros(0, 4);
+        let out = execute(&g, &OpInfo::aggregation_sum(), &OpOperands::single(&x)).unwrap();
+        assert_eq!(out.rows(), 0);
+        assert_eq!(out.cols(), 4);
+    }
+
+    #[test]
+    fn division_edge_op() {
+        let op = OpInfo::new(
+            EdgeOp::Div,
+            GatherOp::Sum,
+            TensorType::SrcV,
+            TensorType::Edge,
+            TensorType::DstV,
+        )
+        .unwrap();
+        let g = graph();
+        let w = Tensor2::full(3, 2, 2.0);
+        let out = execute(&g, &op, &OpOperands::pair(&feats(), &w)).unwrap();
+        assert_eq!(out.row(0), &[10.0, 10.5]); // (20,21)/2
+    }
+}

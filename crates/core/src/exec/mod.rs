@@ -1,0 +1,17 @@
+//! Operator execution.
+//!
+//! Execution is split exactly along the paper's computation/schedule
+//! decoupling:
+//!
+//! * [`functional`] evaluates an operator's *semantics* — the result is
+//!   schedule-independent by construction (the property the paper's
+//!   correctness argument rests on);
+//! * [`trace`] walks a [`crate::plan::KernelPlan`]'s schedule over the
+//!   graph, emitting warp-level memory accesses and compute cycles into the
+//!   `ugrapher-sim` GPU model to obtain a [`ugrapher_sim::SimReport`].
+
+pub mod functional;
+pub mod trace;
+
+pub use functional::{execute, OpOperands};
+pub use trace::{measure, Fidelity, MeasureOptions};

@@ -1,0 +1,59 @@
+//! # ugrapher-core
+//!
+//! The uGrapher contribution (ASPLOS'23): a unified abstraction for GNN
+//! graph operators with *decoupled computation and schedule*, plus the
+//! machinery built on top of it —
+//!
+//! * [`abstraction`] — the nested sparse–dense loop abstraction of paper §3:
+//!   [`abstraction::EdgeOp`], [`abstraction::GatherOp`],
+//!   [`abstraction::TensorType`] and [`abstraction::OpInfo`] capture the
+//!   complete semantics of every graph operator (Table 4), and
+//!   [`abstraction::registry`] enumerates the legal operator space
+//!   (Table 2's census).
+//! * [`schedule`] — the parallelization-strategy space of paper §4:
+//!   [`schedule::Strategy`] (thread/warp × vertex/edge), V/E grouping and feature
+//!   tiling, combined in [`schedule::ParallelInfo`].
+//! * [`plan`] — the two "code generation" passes of paper §5.2 (NULL-op
+//!   fusion and atomic-requirement analysis) producing a [`plan::KernelPlan`].
+//! * [`exec`] — the executor: functional evaluation of any operator
+//!   (schedule-independent results) and schedule-faithful trace generation
+//!   driving the `ugrapher-sim` GPU model.
+//! * [`tune`] — grid search over the strategy space and the learned
+//!   LightGBM-style predictor of paper §5.4.
+//! * [`api`] — the three-argument `uGrapher(graph_tensor, op_info,
+//!   parallel_info)` entry point of paper Fig. 9, with auto-tuning when the
+//!   schedule is omitted.
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_core::abstraction::OpInfo;
+//! use ugrapher_core::api::{uGrapher, GraphTensor, OpArgs};
+//! use ugrapher_graph::generate::ring;
+//! use ugrapher_tensor::Tensor2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = ring(16);
+//! let x = Tensor2::full(16, 8, 1.0);
+//! // aggregation-sum: every vertex sums its in-neighbors' features.
+//! let out = uGrapher(
+//!     &GraphTensor::new(&graph),
+//!     &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+//!     None, // let uGrapher pick the schedule
+//! )?;
+//! assert_eq!(out.output[(0, 0)], 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod abstraction;
+pub mod api;
+pub mod codegen_cuda;
+mod costs;
+mod error;
+pub mod exec;
+pub mod plan;
+pub mod schedule;
+pub mod tune;
+
+pub use error::CoreError;

@@ -1,0 +1,182 @@
+//! The decoupled schedule space (paper §4).
+//!
+//! A schedule is a [`Strategy`] — which loop is mapped to which GPU
+//! execution unit — plus two fine-grained knobs: *V/E grouping* (how many
+//! vertices/edges one thread or warp processes) and *feature tiling* (how
+//! many threads/warps share one vertex/edge along the feature dimension).
+//! Together these trade off locality, parallelism and work-efficiency
+//! (paper Table 6); [`ParallelInfo::space`] enumerates the search space the
+//! tuner explores.
+
+use serde::{Deserialize, Serialize};
+
+/// The four basic parallelization strategies of paper Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// One thread per vertex (group); best locality, least parallelism,
+    /// no atomics.
+    ThreadVertex,
+    /// One thread per edge (group); most parallelism, needs atomics for
+    /// vertex outputs.
+    ThreadEdge,
+    /// One warp per vertex (group), lanes across features.
+    WarpVertex,
+    /// One warp per edge (group), lanes across features; needs atomics for
+    /// vertex outputs.
+    WarpEdge,
+}
+
+impl Strategy {
+    /// All four strategies, in the paper's order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::ThreadVertex,
+        Strategy::ThreadEdge,
+        Strategy::WarpVertex,
+        Strategy::WarpEdge,
+    ];
+
+    /// Whether work items are edges (vs. destination vertices).
+    pub fn is_edge_parallel(self) -> bool {
+        matches!(self, Strategy::ThreadEdge | Strategy::WarpEdge)
+    }
+
+    /// Whether one work item occupies a whole warp (vs. one thread).
+    pub fn is_warp_per_item(self) -> bool {
+        matches!(self, Strategy::WarpVertex | Strategy::WarpEdge)
+    }
+
+    /// The paper's two-letter label (Table 9): TE, WE, TV, WV.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::ThreadVertex => "TV",
+            Strategy::ThreadEdge => "TE",
+            Strategy::WarpVertex => "WV",
+            Strategy::WarpEdge => "WE",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A complete schedule: strategy plus fine-grained knobs
+/// (`parallel_info` in the paper's API, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParallelInfo {
+    /// The basic parallelization strategy.
+    pub strategy: Strategy,
+    /// V/E grouping: vertices/edges per thread or warp (paper `G`, ≥ 1).
+    pub grouping: usize,
+    /// Feature tiling: number of feature tiles, i.e. threads/warps sharing
+    /// one vertex/edge along the feature dimension (paper `T`, ≥ 1).
+    pub tiling: usize,
+}
+
+impl ParallelInfo {
+    /// A basic schedule: the given strategy with `G = 1, T = 1`.
+    pub fn basic(strategy: Strategy) -> Self {
+        Self {
+            strategy,
+            grouping: 1,
+            tiling: 1,
+        }
+    }
+
+    /// Builds a schedule with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grouping == 0` or `tiling == 0`.
+    pub fn new(strategy: Strategy, grouping: usize, tiling: usize) -> Self {
+        assert!(grouping > 0, "grouping must be >= 1");
+        assert!(tiling > 0, "tiling must be >= 1");
+        Self {
+            strategy,
+            grouping,
+            tiling,
+        }
+    }
+
+    /// The knob values explored by the tuner (powers of two up to 64, as in
+    /// paper Table 9 / Fig. 18).
+    pub const KNOB_VALUES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+    /// The full search space: 4 strategies × 7 groupings × 7 tilings.
+    pub fn space() -> Vec<ParallelInfo> {
+        let mut out = Vec::with_capacity(4 * 7 * 7);
+        for &strategy in &Strategy::ALL {
+            for &grouping in &Self::KNOB_VALUES {
+                for &tiling in &Self::KNOB_VALUES {
+                    out.push(ParallelInfo {
+                        strategy,
+                        grouping,
+                        tiling,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The four basic schedules (no grouping, no tiling) of paper Fig. 7.
+    pub fn basics() -> Vec<ParallelInfo> {
+        Strategy::ALL.iter().map(|&s| Self::basic(s)).collect()
+    }
+
+    /// The paper's Table 9 label, e.g. `"TE_G4_T32"`.
+    pub fn label(&self) -> String {
+        format!("{}_G{}_T{}", self.strategy.label(), self.grouping, self.tiling)
+    }
+}
+
+impl std::fmt::Display for ParallelInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_expected_size() {
+        let space = ParallelInfo::space();
+        assert_eq!(space.len(), 4 * 7 * 7);
+        // All entries distinct.
+        let set: std::collections::HashSet<_> = space.iter().collect();
+        assert_eq!(set.len(), space.len());
+    }
+
+    #[test]
+    fn basics_are_in_space() {
+        let space = ParallelInfo::space();
+        for b in ParallelInfo::basics() {
+            assert!(space.contains(&b));
+        }
+    }
+
+    #[test]
+    fn labels_match_table9_format() {
+        let p = ParallelInfo::new(Strategy::ThreadEdge, 4, 32);
+        assert_eq!(p.label(), "TE_G4_T32");
+        assert_eq!(ParallelInfo::basic(Strategy::WarpVertex).label(), "WV_G1_T1");
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Strategy::ThreadEdge.is_edge_parallel());
+        assert!(!Strategy::WarpVertex.is_edge_parallel());
+        assert!(Strategy::WarpEdge.is_warp_per_item());
+        assert!(!Strategy::ThreadVertex.is_warp_per_item());
+    }
+
+    #[test]
+    #[should_panic(expected = "grouping must be >= 1")]
+    fn zero_grouping_panics() {
+        let _ = ParallelInfo::new(Strategy::ThreadEdge, 0, 1);
+    }
+}

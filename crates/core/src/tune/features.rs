@@ -1,0 +1,150 @@
+//! Feature extraction for the schedule predictor (paper Table 7).
+//!
+//! The paper's features are the graph info (`#Vertex`, `#Edge`, `std_nnz`)
+//! and the operator info (`Edge_op`, `Gather_op`, `A/B/C Type`). We add the
+//! feature (embedding) dimension — it determines feature-tiling behaviour
+//! (paper Fig. 7 shows the optimum flips between feature sizes 8 and 16) and
+//! is available to the runtime for free — and the candidate schedule's own
+//! parameters, since the model scores (context, schedule) pairs.
+
+use ugrapher_graph::DegreeStats;
+
+use crate::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
+use crate::schedule::{ParallelInfo, Strategy};
+
+/// Number of entries in a [`feature_vector`].
+pub const NUM_FEATURES: usize = 16;
+
+fn edge_op_id(op: EdgeOp) -> f64 {
+    EdgeOp::ALL.iter().position(|&e| e == op).unwrap() as f64
+}
+
+fn gather_op_id(op: GatherOp) -> f64 {
+    GatherOp::ALL.iter().position(|&g| g == op).unwrap() as f64
+}
+
+fn tensor_type_id(t: TensorType) -> f64 {
+    TensorType::ALL.iter().position(|&x| x == t).unwrap() as f64
+}
+
+/// Builds the model input for one (graph, operator, feature-dim, schedule)
+/// combination.
+pub fn feature_vector(
+    stats: &DegreeStats,
+    op: &OpInfo,
+    feat_dim: usize,
+    schedule: &ParallelInfo,
+) -> Vec<f64> {
+    feature_vector_masked(stats, op, feat_dim, schedule, true)
+}
+
+/// [`feature_vector`] with the operator-info features optionally zeroed —
+/// the Table 7 ablation (graph-only features vs graph + operator
+/// features).
+pub fn feature_vector_masked(
+    stats: &DegreeStats,
+    op: &OpInfo,
+    feat_dim: usize,
+    schedule: &ParallelInfo,
+    include_op: bool,
+) -> Vec<f64> {
+    let strategy_onehot = |s: Strategy| {
+        if schedule.strategy == s {
+            1.0
+        } else {
+            0.0
+        }
+    };
+    let v = vec![
+        // Graph info (Table 7).
+        (stats.num_vertices as f64 + 1.0).ln(),
+        (stats.num_edges as f64 + 1.0).ln(),
+        (stats.std_in_degree + 1.0).ln(),
+        (stats.mean_in_degree + 1.0).ln(),
+        // Operator info (Table 7); zeroed in the graph-only ablation.
+        if include_op { edge_op_id(op.edge_op) } else { 0.0 },
+        if include_op { gather_op_id(op.gather_op) } else { 0.0 },
+        if include_op { tensor_type_id(op.a) } else { 0.0 },
+        if include_op { tensor_type_id(op.b) } else { 0.0 },
+        if include_op { tensor_type_id(op.c) } else { 0.0 },
+        // Feature dimension (see module docs).
+        (feat_dim as f64).ln(),
+        // Candidate schedule.
+        strategy_onehot(Strategy::ThreadVertex),
+        strategy_onehot(Strategy::ThreadEdge),
+        strategy_onehot(Strategy::WarpVertex),
+        strategy_onehot(Strategy::WarpEdge),
+        (schedule.grouping as f64).log2(),
+        (schedule.tiling as f64).log2(),
+    ];
+    debug_assert_eq!(v.len(), NUM_FEATURES);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrapher_graph::generate::uniform_random;
+
+    fn stats() -> DegreeStats {
+        uniform_random(100, 500, 1).degree_stats()
+    }
+
+    #[test]
+    fn vector_has_declared_length() {
+        let v = feature_vector(
+            &stats(),
+            &OpInfo::aggregation_sum(),
+            32,
+            &ParallelInfo::basic(Strategy::ThreadEdge),
+        );
+        assert_eq!(v.len(), NUM_FEATURES);
+    }
+
+    #[test]
+    fn vectors_distinguish_schedules() {
+        let s = stats();
+        let op = OpInfo::aggregation_sum();
+        let a = feature_vector(&s, &op, 32, &ParallelInfo::new(Strategy::ThreadEdge, 4, 2));
+        let b = feature_vector(&s, &op, 32, &ParallelInfo::new(Strategy::WarpEdge, 4, 2));
+        let c = feature_vector(&s, &op, 32, &ParallelInfo::new(Strategy::ThreadEdge, 8, 2));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn vectors_distinguish_operators() {
+        let s = stats();
+        let p = ParallelInfo::basic(Strategy::ThreadEdge);
+        let a = feature_vector(&s, &OpInfo::aggregation_sum(), 32, &p);
+        let b = feature_vector(&s, &OpInfo::weighted_aggregation_sum(), 32, &p);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn op_mask_zeroes_operator_features() {
+        let s = stats();
+        let p = ParallelInfo::basic(Strategy::ThreadEdge);
+        let with = feature_vector_masked(&s, &OpInfo::weighted_aggregation_sum(), 32, &p, true);
+        let without = feature_vector_masked(&s, &OpInfo::weighted_aggregation_sum(), 32, &p, false);
+        assert_ne!(with, without);
+        assert_eq!(&without[4..9], &[0.0; 5]);
+        // Graph and schedule features unchanged.
+        assert_eq!(&with[..4], &without[..4]);
+        assert_eq!(&with[9..], &without[9..]);
+        // Masked vectors can no longer distinguish operators.
+        let other = feature_vector_masked(&s, &OpInfo::aggregation_max(), 32, &p, false);
+        assert_eq!(without, other);
+    }
+
+    #[test]
+    fn vectors_are_finite() {
+        let v = feature_vector(
+            &stats(),
+            &OpInfo::message_creation_add(),
+            1,
+            &ParallelInfo::new(Strategy::WarpVertex, 64, 64),
+        );
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,212 @@
+//! Exhaustive schedule search.
+
+use ugrapher_graph::Graph;
+
+use crate::abstraction::OpInfo;
+use crate::exec::{measure, MeasureOptions};
+use crate::plan::KernelPlan;
+use crate::schedule::ParallelInfo;
+use crate::CoreError;
+
+/// Outcome of a grid search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The fastest schedule found.
+    pub best: ParallelInfo,
+    /// Its simulated time in milliseconds.
+    pub best_time_ms: f64,
+    /// Every `(schedule, time_ms)` pair measured, in search order.
+    pub all: Vec<(ParallelInfo, f64)>,
+}
+
+impl TuneResult {
+    /// Time of a specific schedule, if it was part of the search.
+    pub fn time_of(&self, schedule: &ParallelInfo) -> Option<f64> {
+        self.all
+            .iter()
+            .find(|(p, _)| p == schedule)
+            .map(|(_, t)| *t)
+    }
+}
+
+/// Searches the full [`ParallelInfo::space`] for the fastest schedule.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid or `feat == 0`.
+pub fn grid_search(
+    graph: &Graph,
+    op: &OpInfo,
+    feat: usize,
+    options: &MeasureOptions,
+) -> Result<TuneResult, CoreError> {
+    grid_search_space(graph, op, feat, options, &ParallelInfo::space())
+}
+
+/// Searches an explicit list of candidate schedules, in parallel across
+/// worker threads.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid, `feat == 0`, or
+/// `candidates` is empty.
+pub fn grid_search_space(
+    graph: &Graph,
+    op: &OpInfo,
+    feat: usize,
+    options: &MeasureOptions,
+    candidates: &[ParallelInfo],
+) -> Result<TuneResult, CoreError> {
+    grid_search_shaped(graph, op, feat, (false, false), options, candidates)
+}
+
+/// [`grid_search_space`] with explicit operand shapes: `scalars` marks
+/// operands that are one-column broadcasts, so candidate kernels are costed
+/// exactly as they will run (a scalar edge weight moves 4 bytes per edge,
+/// not a feature tile — enough to flip the optimum).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid, `feat == 0`, or
+/// `candidates` is empty.
+pub fn grid_search_shaped(
+    graph: &Graph,
+    op: &OpInfo,
+    feat: usize,
+    scalars: (bool, bool),
+    options: &MeasureOptions,
+    candidates: &[ParallelInfo],
+) -> Result<TuneResult, CoreError> {
+    if candidates.is_empty() {
+        return Err(CoreError::InvalidOperator {
+            op: *op,
+            reason: "empty candidate schedule list".to_owned(),
+        });
+    }
+    // Validate once up front so worker threads cannot fail.
+    KernelPlan::generate(
+        *op,
+        candidates[0],
+        graph.num_vertices(),
+        graph.num_edges(),
+        feat,
+    )?;
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(candidates.len());
+    let chunk = candidates.len().div_ceil(workers);
+    let mut all: Vec<(ParallelInfo, f64)> = Vec::with_capacity(candidates.len());
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .map(|&p| {
+                            let plan = KernelPlan::generate(
+                                *op,
+                                p,
+                                graph.num_vertices(),
+                                graph.num_edges(),
+                                feat,
+                            )
+                            .expect("validated above")
+                            .with_scalar_operands(scalars.0, scalars.1);
+                            (p, measure(graph, &plan, options).time_ms)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("tuner worker panicked"));
+        }
+    })
+    .expect("tuner scope panicked");
+
+    let (best, best_time_ms) = all
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
+        .expect("candidates is non-empty");
+    Ok(TuneResult {
+        best,
+        best_time_ms,
+        all,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Fidelity;
+    use ugrapher_graph::generate::uniform_random;
+    use ugrapher_sim::DeviceConfig;
+
+    fn options() -> MeasureOptions {
+        MeasureOptions {
+            device: DeviceConfig::v100(),
+            fidelity: Fidelity::Auto,
+        }
+    }
+
+    #[test]
+    fn finds_minimum_of_searched_space() {
+        let g = uniform_random(400, 2000, 1);
+        let res = grid_search_space(
+            &g,
+            &OpInfo::aggregation_sum(),
+            16,
+            &options(),
+            &ParallelInfo::basics(),
+        )
+        .unwrap();
+        assert_eq!(res.all.len(), 4);
+        let min = res
+            .all
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(res.best_time_ms, min);
+        assert_eq!(res.time_of(&res.best), Some(res.best_time_ms));
+    }
+
+    #[test]
+    fn full_space_search_covers_everything() {
+        let g = uniform_random(200, 1000, 2);
+        let res = grid_search(&g, &OpInfo::aggregation_sum(), 8, &options()).unwrap();
+        assert_eq!(res.all.len(), ParallelInfo::space().len());
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        let g = uniform_random(50, 200, 3);
+        assert!(grid_search_space(&g, &OpInfo::aggregation_sum(), 8, &options(), &[]).is_err());
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let g = uniform_random(300, 1500, 4);
+        let a = grid_search_space(
+            &g,
+            &OpInfo::aggregation_max(),
+            8,
+            &options(),
+            &ParallelInfo::basics(),
+        )
+        .unwrap();
+        let b = grid_search_space(
+            &g,
+            &OpInfo::aggregation_max(),
+            8,
+            &options(),
+            &ParallelInfo::basics(),
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,21 @@
+//! Schedule tuning (paper §5.4).
+//!
+//! Two ways to pick a schedule for an `(operator, graph)` pair:
+//!
+//! * [`grid_search`] — measure every point of the
+//!   [`crate::schedule::ParallelInfo::space`] on the simulator and keep the
+//!   fastest (the paper's ground truth, "days of time" on real hardware,
+//!   affordable here thanks to sampled tracing);
+//! * [`Predictor`] — a GBDT trained on randomly generated graphs that maps
+//!   (graph features, operator info, schedule) to predicted log-time and
+//!   picks the argmin (the paper's LightGBM model, Table 7; validated
+//!   against grid search in Fig. 12).
+
+pub mod features;
+mod grid;
+mod predictor;
+mod random;
+
+pub use grid::{grid_search, grid_search_shaped, grid_search_space, TuneResult};
+pub use random::random_search;
+pub use predictor::{Predictor, PredictorConfig};

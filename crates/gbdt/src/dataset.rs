@@ -1,0 +1,137 @@
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when assembling a training set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GbdtError {
+    /// Feature rows and targets have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// Feature rows have inconsistent widths.
+    RaggedFeatures {
+        /// Width of the first row.
+        expected: usize,
+        /// Index of the first offending row.
+        row: usize,
+        /// Its width.
+        found: usize,
+    },
+    /// The training set is empty.
+    Empty,
+}
+
+impl fmt::Display for GbdtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GbdtError::LengthMismatch { rows, targets } => {
+                write!(f, "{rows} feature rows but {targets} targets")
+            }
+            GbdtError::RaggedFeatures {
+                expected,
+                row,
+                found,
+            } => write!(
+                f,
+                "row {row} has {found} features, expected {expected}"
+            ),
+            GbdtError::Empty => write!(f, "training set is empty"),
+        }
+    }
+}
+
+impl Error for GbdtError {}
+
+/// A tabular regression training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainSet {
+    rows: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl TrainSet {
+    /// Builds a training set, validating shape consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GbdtError`] if rows/targets mismatch, rows are ragged, or
+    /// the set is empty.
+    pub fn new(rows: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, GbdtError> {
+        if rows.is_empty() {
+            return Err(GbdtError::Empty);
+        }
+        if rows.len() != targets.len() {
+            return Err(GbdtError::LengthMismatch {
+                rows: rows.len(),
+                targets: targets.len(),
+            });
+        }
+        let width = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(GbdtError::RaggedFeatures {
+                    expected: width,
+                    row: i,
+                    found: r.len(),
+                });
+            }
+        }
+        Ok(Self { rows, targets })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the set has zero samples (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn num_features(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+
+    /// Regression targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_shapes() {
+        assert_eq!(TrainSet::new(vec![], vec![]), Err(GbdtError::Empty));
+        assert!(matches!(
+            TrainSet::new(vec![vec![1.0]], vec![]),
+            Err(GbdtError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            TrainSet::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]),
+            Err(GbdtError::RaggedFeatures { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = TrainSet::new(vec![vec![1.0, 2.0], vec![3.0, 4.0]], vec![0.5, 0.6]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.num_features(), 2);
+        assert_eq!(d.targets()[1], 0.6);
+    }
+}

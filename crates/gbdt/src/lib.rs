@@ -1,0 +1,39 @@
+//! # ugrapher-gbdt
+//!
+//! Gradient-boosted regression trees, written from scratch as a substitute
+//! for LightGBM (paper §5.4: uGrapher trains a LightGBM model to predict the
+//! optimal parallelization strategy from graph features and operator
+//! information, Table 7).
+//!
+//! The implementation is a standard least-squares boosting loop: each tree
+//! fits the residuals of the current ensemble, leaves predict the mean
+//! residual, splits maximize variance reduction, and predictions accumulate
+//! with a shrinkage factor. This matches the modeling capacity the paper
+//! needs — a few thousand training rows with ~10 tabular features — and its
+//! inference latency requirement (§7.4: one prediction must cost well under
+//! 0.2 ms; see the `overhead_predictor` bench).
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_gbdt::{Gbdt, GbdtParams, TrainSet};
+//!
+//! # fn main() -> Result<(), ugrapher_gbdt::GbdtError> {
+//! // y = 2 if x0 > 0.5 else 1
+//! let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+//! let targets: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 2.0 } else { 1.0 }).collect();
+//! let data = TrainSet::new(rows, targets)?;
+//! let model = Gbdt::fit(&data, &GbdtParams::default());
+//! assert!((model.predict(&[0.9]) - 2.0).abs() < 0.05);
+//! assert!((model.predict(&[0.1]) - 1.0).abs() < 0.05);
+//! # Ok(())
+//! # }
+//! ```
+
+mod dataset;
+mod model;
+mod tree;
+
+pub use dataset::{GbdtError, TrainSet};
+pub use model::{Gbdt, GbdtParams};
+pub use tree::Tree;

@@ -1,0 +1,203 @@
+//! The boosting ensemble.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::TrainSet;
+use crate::tree::{Tree, TreeParams};
+
+/// Hyper-parameters of the boosting loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds (trees).
+    pub num_trees: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum candidate thresholds per feature per node.
+    pub max_candidates: usize,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        Self {
+            num_trees: 100,
+            learning_rate: 0.1,
+            max_depth: 5,
+            min_samples_leaf: 2,
+            max_candidates: 64,
+        }
+    }
+}
+
+/// A fitted gradient-boosted regression model.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<Tree>,
+}
+
+impl Gbdt {
+    /// Fits a model with least-squares boosting.
+    pub fn fit(data: &TrainSet, params: &GbdtParams) -> Self {
+        let n = data.len();
+        let base = data.targets().iter().sum::<f64>() / n as f64;
+        let tree_params = TreeParams {
+            max_depth: params.max_depth,
+            min_samples_leaf: params.min_samples_leaf,
+            max_candidates: params.max_candidates,
+        };
+
+        let mut predictions = vec![base; n];
+        let mut residuals = vec![0.0; n];
+        let indices: Vec<usize> = (0..n).collect();
+        let mut trees = Vec::with_capacity(params.num_trees);
+
+        for _ in 0..params.num_trees {
+            for i in 0..n {
+                residuals[i] = data.targets()[i] - predictions[i];
+            }
+            let tree = Tree::fit(data.rows(), &residuals, &indices, &tree_params);
+            if tree.num_nodes() == 1 && trees.len() > 1 {
+                // Residuals have collapsed to (near-)constant; further trees
+                // only add the same constant leaf repeatedly.
+                let leaf = tree.predict(&data.rows()[0]);
+                if leaf.abs() < 1e-12 {
+                    break;
+                }
+            }
+            for (i, row) in data.rows().iter().enumerate() {
+                predictions[i] += params.learning_rate * tree.predict(row);
+            }
+            trees.push(tree);
+        }
+
+        Self {
+            base,
+            learning_rate: params.learning_rate,
+            trees,
+        }
+    }
+
+    /// Predicts the regression target for one feature row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(row))
+                    .sum::<f64>()
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &TrainSet) -> f64 {
+        data.rows()
+            .iter()
+            .zip(data.targets())
+            .map(|(r, &y)| {
+                let d = self.predict(r) - y;
+                d * d
+            })
+            .sum::<f64>()
+            / data.len() as f64
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrainSet;
+
+    fn grid_2d(n: usize, f: impl Fn(f64, f64) -> f64) -> TrainSet {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (i as f64 / n as f64, j as f64 / n as f64);
+                rows.push(vec![a, b]);
+                y.push(f(a, b));
+            }
+        }
+        TrainSet::new(rows, y).unwrap()
+    }
+
+    #[test]
+    fn beats_mean_baseline_on_nonlinear_target() {
+        let data = grid_2d(20, |a, b| (a * 4.0).sin() + b * b);
+        let model = Gbdt::fit(&data, &GbdtParams::default());
+        let mean = data.targets().iter().sum::<f64>() / data.len() as f64;
+        let mean_mse = data
+            .targets()
+            .iter()
+            .map(|y| (y - mean) * (y - mean))
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(model.mse(&data) < mean_mse * 0.05);
+    }
+
+    #[test]
+    fn interpolates_interaction_terms() {
+        // XOR-like target needs depth >= 2.
+        let data = grid_2d(16, |a, b| {
+            if (a > 0.5) ^ (b > 0.5) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let model = Gbdt::fit(&data, &GbdtParams::default());
+        assert!((model.predict(&[0.9, 0.1]) - 1.0).abs() < 0.1);
+        assert!((model.predict(&[0.9, 0.9]) - 0.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn constant_target_stops_early() {
+        let data = TrainSet::new(
+            (0..50).map(|i| vec![i as f64]).collect(),
+            vec![7.0; 50],
+        )
+        .unwrap();
+        let model = Gbdt::fit(&data, &GbdtParams::default());
+        assert!(model.num_trees() < 10, "trees: {}", model.num_trees());
+        assert_eq!(model.predict(&[123.0]), 7.0);
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let data = grid_2d(10, |a, b| a + 2.0 * b);
+        let m1 = Gbdt::fit(&data, &GbdtParams::default());
+        let m2 = Gbdt::fit(&data, &GbdtParams::default());
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn more_trees_fit_better() {
+        let data = grid_2d(15, |a, b| (a * 6.0).sin() * (b * 6.0).cos());
+        let small = Gbdt::fit(
+            &data,
+            &GbdtParams {
+                num_trees: 5,
+                ..Default::default()
+            },
+        );
+        let big = Gbdt::fit(
+            &data,
+            &GbdtParams {
+                num_trees: 200,
+                ..Default::default()
+            },
+        );
+        assert!(big.mse(&data) < small.mse(&data) * 0.5);
+    }
+}

@@ -1,0 +1,292 @@
+//! A single regression tree with variance-reduction splits.
+
+use serde::{Deserialize, Serialize};
+
+/// One node of a regression tree, indexed into the tree's node arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Arena index of the `<= threshold` child.
+        left: usize,
+        /// Arena index of the `> threshold` child.
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+///
+/// Trees are grown greedily: at each node, every feature's sorted unique
+/// values provide candidate thresholds, and the candidate with the largest
+/// weighted-variance reduction wins. Growth stops at `max_depth`, at
+/// `min_samples_leaf`, or when no split improves the loss.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+/// Growth limits for a single tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct TreeParams {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Maximum candidate thresholds per feature per node (histogram-style
+    /// quantile subsampling, as LightGBM does).
+    pub max_candidates: usize,
+}
+
+impl Tree {
+    /// Fits a tree to `(rows, residuals)` for the given sample indices.
+    pub(crate) fn fit(
+        rows: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &[usize],
+        params: &TreeParams,
+    ) -> Self {
+        let mut tree = Tree { nodes: Vec::new() };
+        let mut idx = indices.to_vec();
+        tree.grow(rows, residuals, &mut idx, params, 0);
+        tree
+    }
+
+    /// Predicts the tree's output for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than a feature index used by a split.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Maximum depth of the fitted tree (root = 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+
+    /// Grows a subtree over `indices` (reordered in place); returns its
+    /// arena index.
+    fn grow(
+        &mut self,
+        rows: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &mut [usize],
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| residuals[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            return self.push(Node::Leaf { value: mean });
+        }
+
+        let Some((feature, threshold)) = best_split(rows, residuals, indices, params) else {
+            return self.push(Node::Leaf { value: mean });
+        };
+
+        // Partition indices by the chosen split.
+        let mut lo = 0usize;
+        let mut hi = indices.len();
+        while lo < hi {
+            if rows[indices[lo]][feature] <= threshold {
+                lo += 1;
+            } else {
+                hi -= 1;
+                indices.swap(lo, hi);
+            }
+        }
+        if lo == 0 || lo == indices.len() {
+            return self.push(Node::Leaf { value: mean });
+        }
+
+        let placeholder = self.push(Node::Leaf { value: mean });
+        let (left_idx, right_idx) = indices.split_at_mut(lo);
+        let left = self.grow(rows, residuals, left_idx, params, depth + 1);
+        let right = self.grow(rows, residuals, right_idx, params, depth + 1);
+        self.nodes[placeholder] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+}
+
+/// Finds the `(feature, threshold)` split with the largest variance
+/// reduction, or `None` if nothing improves.
+#[allow(clippy::needless_range_loop)] // `f` indexes a column across rows
+fn best_split(
+    rows: &[Vec<f64>],
+    residuals: &[f64],
+    indices: &[usize],
+    params: &TreeParams,
+) -> Option<(usize, f64)> {
+    let n = indices.len() as f64;
+    let total_sum: f64 = indices.iter().map(|&i| residuals[i]).sum();
+    let num_features = rows[indices[0]].len();
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    let mut values: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+
+    for f in 0..num_features {
+        values.clear();
+        values.extend(indices.iter().map(|&i| (rows[i][f], residuals[i])));
+        values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Candidate thresholds: boundaries between distinct sorted values,
+        // subsampled to at most `max_candidates` (histogram binning).
+        let stride = (values.len() / params.max_candidates.max(1)).max(1);
+
+        let mut left_sum = 0.0;
+        let mut left_n = 0.0;
+        let mut k = 0usize;
+        while k + 1 < values.len() {
+            left_sum += values[k].1;
+            left_n += 1.0;
+            let boundary = values[k].0 < values[k + 1].0;
+            k += 1;
+            if !boundary || !k.is_multiple_of(stride) {
+                continue;
+            }
+            let right_n = n - left_n;
+            if (left_n as usize) < params.min_samples_leaf
+                || (right_n as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            // Variance reduction is equivalent to maximizing
+            // sum_l^2/n_l + sum_r^2/n_r.
+            let gain =
+                left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                    - total_sum * total_sum / n;
+            if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
+                let threshold = (values[k - 1].0 + values[k].0) / 2.0;
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> TreeParams {
+        TreeParams {
+            max_depth: 6,
+            min_samples_leaf: 1,
+            max_candidates: 64,
+        }
+    }
+
+    fn fit(rows: &[Vec<f64>], y: &[f64], p: &TreeParams) -> Tree {
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        Tree::fit(rows, y, &idx, p)
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.0; 10];
+        let t = fit(&rows, &y, &params());
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[100.0]), 3.0);
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 1.0 }).collect();
+        let t = fit(&rows, &y, &params());
+        assert_eq!(t.predict(&[3.0]), -1.0);
+        assert_eq!(t.predict(&[15.0]), 1.0);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 0 is noise (alternating), feature 1 determines the target.
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i % 2) as f64, if i < 20 { 0.0 } else { 1.0 }])
+            .collect();
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 5.0 } else { 9.0 }).collect();
+        let t = fit(&rows, &y, &params());
+        assert_eq!(t.predict(&[0.0, 0.0]), 5.0);
+        assert_eq!(t.predict(&[0.0, 1.0]), 9.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let p = TreeParams {
+            max_depth: 2,
+            ..params()
+        };
+        let t = fit(&rows, &y, &p);
+        assert!(t.depth() <= 2, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let p = TreeParams {
+            min_samples_leaf: 4,
+            ..params()
+        };
+        let t = fit(&rows, &y, &p);
+        // With min leaf 4 over 8 samples, only one split is possible.
+        assert!(t.depth() <= 1);
+    }
+
+    #[test]
+    fn predictions_bounded_by_target_range() {
+        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![(i * 7 % 13) as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| ((i * 11) % 5) as f64).collect();
+        let t = fit(&rows, &y, &params());
+        for r in &rows {
+            let p = t.predict(r);
+            assert!((0.0..=4.0).contains(&p));
+        }
+    }
+}

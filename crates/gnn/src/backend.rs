@@ -1,0 +1,200 @@
+//! The graph-operator backend seam.
+//!
+//! A [`GraphOpBackend`] executes one graph operator and reports its
+//! simulated GPU cost. Model code (`crate::models`) is backend-agnostic:
+//! swapping the backend swaps *only* the graph-operator kernels, which is
+//! exactly the variable the paper's end-to-end comparison isolates
+//! (DGL / PyG / GNNAdvisor vs uGrapher, §6–7).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::api::{GraphTensor, OpArgs, Runtime};
+use ugrapher_core::exec::OpOperands;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_core::tune::Predictor;
+use ugrapher_core::CoreError;
+use ugrapher_graph::Graph;
+use ugrapher_sim::{DeviceConfig, SimReport};
+use ugrapher_tensor::Tensor2;
+
+use crate::{ModelKind, OpSite};
+
+/// Executes graph operators for GNN inference.
+pub trait GraphOpBackend {
+    /// Human-readable backend name ("dgl", "pyg", "gnnadvisor",
+    /// "ugrapher").
+    fn name(&self) -> &'static str;
+
+    /// The device this backend simulates.
+    fn device(&self) -> &DeviceConfig;
+
+    /// Whether this backend can run the given model (GNNAdvisor only
+    /// supports GCN and GIN, paper §6).
+    fn supports(&self, model: ModelKind) -> bool {
+        let _ = model;
+        true
+    }
+
+    /// Executes one graph operator at `site`, returning the functional
+    /// output and the simulated kernel report(s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid operators or operand mismatches.
+    fn run_op(
+        &self,
+        graph: &Graph,
+        site: &OpSite,
+        op: &OpInfo,
+        operands: &OpOperands<'_>,
+    ) -> Result<(Tensor2, SimReport), CoreError>;
+}
+
+/// The uGrapher backend: every operator runs under an adaptively chosen
+/// schedule (predictor if installed, otherwise sampled grid search), cached
+/// per (site, graph shape).
+pub struct UGrapherBackend {
+    runtime: Runtime,
+    device: DeviceConfig,
+    schedule_cache: Mutex<HashMap<(String, usize, usize, usize), ParallelInfo>>,
+}
+
+impl UGrapherBackend {
+    /// Creates a backend that tunes by sampled grid search.
+    pub fn new(device: DeviceConfig) -> Self {
+        Self {
+            runtime: Runtime::new(device.clone()),
+            device,
+            schedule_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a backend that tunes with a trained predictor (the paper's
+    /// default deployment, §5.4).
+    pub fn with_predictor(device: DeviceConfig, predictor: Predictor) -> Self {
+        Self {
+            runtime: Runtime::new(device.clone()).with_predictor(predictor),
+            device,
+            schedule_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates a backend whose grid search considers only the four basic
+    /// strategies — much faster tuning, used by tests and quick runs.
+    pub fn quick(device: DeviceConfig) -> Self {
+        Self {
+            runtime: Runtime::new(device.clone())
+                .with_search_space(ParallelInfo::basics()),
+            device,
+            schedule_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The schedule this backend would use for the given call site, tuning
+    /// and caching on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the operator is invalid.
+    pub fn schedule_for(
+        &self,
+        graph: &GraphTensor<'_>,
+        site: &OpSite,
+        op: &OpInfo,
+        feat: usize,
+        scalars: (bool, bool),
+    ) -> Result<ParallelInfo, CoreError> {
+        let key = (
+            site.label(),
+            graph.graph().num_vertices(),
+            graph.graph().num_edges(),
+            feat,
+        );
+        if let Some(p) = self.schedule_cache.lock().get(&key) {
+            return Ok(*p);
+        }
+        let chosen = self
+            .runtime
+            .choose_schedule_shaped(graph, op, feat, scalars)?;
+        self.schedule_cache.lock().insert(key, chosen);
+        Ok(chosen)
+    }
+}
+
+impl GraphOpBackend for UGrapherBackend {
+    fn name(&self) -> &'static str {
+        "ugrapher"
+    }
+
+    fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    fn run_op(
+        &self,
+        graph: &Graph,
+        site: &OpSite,
+        op: &OpInfo,
+        operands: &OpOperands<'_>,
+    ) -> Result<(Tensor2, SimReport), CoreError> {
+        let gt = GraphTensor::new(graph);
+        let feat = operands
+            .a
+            .map(|t| t.cols())
+            .into_iter()
+            .chain(operands.b.map(|t| t.cols()))
+            .max()
+            .unwrap_or(1);
+        let scalar = |t: Option<&Tensor2>| t.is_some_and(|t| t.cols() == 1) && feat > 1;
+        let schedule = self.schedule_for(
+            &gt,
+            site,
+            op,
+            feat,
+            (scalar(operands.a), scalar(operands.b)),
+        )?;
+        let args = OpArgs {
+            op: *op,
+            operands: *operands,
+        };
+        let res = self.runtime.run(&gt, &args, Some(schedule))?;
+        Ok((res.output, res.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpSiteKind;
+    use ugrapher_graph::generate::uniform_random;
+
+    #[test]
+    fn ugrapher_backend_runs_and_caches() {
+        let g = uniform_random(150, 700, 1);
+        let x = Tensor2::full(150, 8, 1.0);
+        let backend = UGrapherBackend::new(DeviceConfig::v100());
+        let site = OpSite::new(ModelKind::Gcn, 1, OpSiteKind::Aggregation);
+        let op = OpInfo::aggregation_sum();
+        let (out1, rep1) = backend
+            .run_op(&g, &site, &op, &OpOperands::single(&x))
+            .unwrap();
+        let (out2, _) = backend
+            .run_op(&g, &site, &op, &OpOperands::single(&x))
+            .unwrap();
+        assert_eq!(out1, out2);
+        assert!(rep1.time_ms > 0.0);
+        assert_eq!(backend.schedule_cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn supports_everything_by_default() {
+        let backend = UGrapherBackend::new(DeviceConfig::a100());
+        for m in ModelKind::ALL {
+            assert!(backend.supports(m));
+        }
+        assert_eq!(backend.name(), "ugrapher");
+    }
+}

@@ -1,0 +1,30 @@
+//! Cost of non-graph, non-GEMM work (element-wise kernels).
+
+use ugrapher_sim::DeviceConfig;
+
+/// Estimated milliseconds for an element-wise GPU kernel touching
+/// `tensors` operands of `elems` `f32` elements each (bias add, ReLU,
+/// exp, ...). These kernels are trivially bandwidth-bound.
+pub fn elementwise_ms(device: &DeviceConfig, elems: usize, tensors: usize) -> f64 {
+    let bytes = (elems * tensors * 4) as f64;
+    bytes / (device.dram_bw_gbs * 1e9) * 1e3 + device.launch_overhead_us * 1e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_with_elements_and_operands() {
+        let d = DeviceConfig::v100();
+        let base = elementwise_ms(&d, 1_000_000, 2);
+        assert!(elementwise_ms(&d, 2_000_000, 2) > base);
+        assert!(elementwise_ms(&d, 1_000_000, 3) > base);
+    }
+
+    #[test]
+    fn zero_elems_is_just_launch_overhead() {
+        let d = DeviceConfig::v100();
+        assert!((elementwise_ms(&d, 0, 2) - d.launch_overhead_us * 1e-3).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+use ugrapher_core::CoreError;
+use ugrapher_tensor::TensorError;
+
+use crate::ModelKind;
+
+/// Errors produced while assembling or running a GNN model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnError {
+    /// A graph-operator invocation failed.
+    Op(CoreError),
+    /// A dense tensor operation failed.
+    Tensor(TensorError),
+    /// The chosen backend does not support this model (e.g. GNNAdvisor
+    /// only supports GCN and GIN, paper §6).
+    UnsupportedModel {
+        /// Backend name.
+        backend: String,
+        /// The rejected model.
+        model: ModelKind,
+    },
+    /// Invalid model configuration.
+    BadConfig {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GnnError::Op(e) => write!(f, "graph operator failed: {e}"),
+            GnnError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            GnnError::UnsupportedModel { backend, model } => {
+                write!(f, "backend {backend} does not support {model:?}")
+            }
+            GnnError::BadConfig { reason } => write!(f, "bad model config: {reason}"),
+        }
+    }
+}
+
+impl Error for GnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GnnError::Op(e) => Some(e),
+            GnnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for GnnError {
+    fn from(e: CoreError) -> Self {
+        GnnError::Op(e)
+    }
+}
+
+impl From<TensorError> for GnnError {
+    fn from(e: TensorError) -> Self {
+        GnnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GnnError::UnsupportedModel {
+            backend: "gnnadvisor".into(),
+            model: ModelKind::Gat,
+        };
+        assert!(e.to_string().contains("gnnadvisor"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

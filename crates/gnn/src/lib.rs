@@ -1,0 +1,53 @@
+//! # ugrapher-gnn
+//!
+//! GNN models on top of the uGrapher graph-operator layer: the four model
+//! families of the paper's evaluation (§6) — GCN, GIN, GAT, and GraphSage
+//! with max/sum/mean aggregators — executed as full-graph inference
+//! pipelines that interleave
+//!
+//! * dense layers (GEMM via `ugrapher-tensor`, timed by the roofline cost
+//!   model), and
+//! * graph operators (executed functionally and timed on the GPU simulator
+//!   through a pluggable [`GraphOpBackend`]).
+//!
+//! The [`GraphOpBackend`] trait is the seam the paper's comparison uses:
+//! `ugrapher-baselines` provides DGL-, PyG- and GNNAdvisor-style backends,
+//! while [`UGrapherBackend`] auto-tunes each operator's schedule. Model
+//! structure, GEMM cost and element-wise cost are *identical* across
+//! backends, so end-to-end differences isolate graph-operator scheduling —
+//! mirroring the paper's experimental design.
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_gnn::{run_inference, ModelConfig, ModelKind, UGrapherBackend};
+//! use ugrapher_graph::generate::uniform_random;
+//! use ugrapher_sim::DeviceConfig;
+//! use ugrapher_tensor::Tensor2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = uniform_random(200, 1000, 7);
+//! let x = Tensor2::from_fn(200, 8, |r, c| ((r + c) % 5) as f32);
+//! let backend = UGrapherBackend::new(DeviceConfig::v100());
+//! let model = ModelConfig::paper_default(ModelKind::Gcn);
+//! let result = run_inference(&model, &graph, &x, 4, &backend)?;
+//! assert_eq!(result.output.shape(), (200, 4));
+//! assert!(result.total_ms() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backend;
+mod cost;
+pub mod dgl_compat;
+mod error;
+pub mod models;
+mod site;
+mod weights;
+
+pub use backend::{GraphOpBackend, UGrapherBackend};
+pub use cost::elementwise_ms;
+pub use error::GnnError;
+pub use models::{run_inference, InferenceResult, ModelConfig};
+pub use site::{ModelKind, OpSite, OpSiteKind};
+pub use weights::WeightInit;

@@ -1,0 +1,326 @@
+//! The benchmark models (paper §6): GCN, GIN, GAT and GraphSage
+//! (max/sum/mean), assembled from dense layers and graph operators.
+//!
+//! Every model follows its original paper's default configuration
+//! ([`ModelConfig::paper_default`]), runs full-graph inference, and records
+//! a time breakdown into GEMM, element-wise and graph-operator components —
+//! the decomposition behind the paper's per-model speedup analysis (§7.2:
+//! models with a higher graph-operator share benefit more from uGrapher).
+
+mod ctx;
+mod gat;
+mod gcn;
+mod gin;
+mod sage;
+
+use serde::{Deserialize, Serialize};
+
+use ugrapher_graph::Graph;
+use ugrapher_sim::SimReport;
+use ugrapher_tensor::Tensor2;
+
+use crate::{GnnError, GraphOpBackend, ModelKind, OpSite};
+
+pub(crate) use ctx::Ctx;
+
+/// Model hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Model family.
+    pub kind: ModelKind,
+    /// Number of layers.
+    pub num_layers: usize,
+    /// Hidden dimension (per head for GAT).
+    pub hidden: usize,
+    /// Attention heads (GAT only; 1 elsewhere).
+    pub heads: usize,
+}
+
+impl ModelConfig {
+    /// The default configuration from each model's original paper, as the
+    /// evaluation prescribes (§6): GCN 2×16, GIN 5×64, GAT 2 layers of 8
+    /// heads × 8, GraphSage 2×16.
+    pub fn paper_default(kind: ModelKind) -> Self {
+        match kind {
+            ModelKind::Gcn => Self {
+                kind,
+                num_layers: 2,
+                hidden: 16,
+                heads: 1,
+            },
+            ModelKind::Gin => Self {
+                kind,
+                num_layers: 5,
+                hidden: 64,
+                heads: 1,
+            },
+            ModelKind::Gat => Self {
+                kind,
+                num_layers: 2,
+                hidden: 8,
+                heads: 8,
+            },
+            ModelKind::SageSum | ModelKind::SageMax | ModelKind::SageMean => Self {
+                kind,
+                num_layers: 2,
+                hidden: 16,
+                heads: 1,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GnnError::BadConfig`] for zero layers/hidden/heads.
+    pub fn validate(&self) -> Result<(), GnnError> {
+        if self.num_layers == 0 || self.hidden == 0 || self.heads == 0 {
+            return Err(GnnError::BadConfig {
+                reason: format!(
+                    "layers ({}), hidden ({}) and heads ({}) must be positive",
+                    self.num_layers, self.hidden, self.heads
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one full-graph inference run.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Final vertex logits (`#vertices × num_classes`).
+    pub output: Tensor2,
+    /// Total dense GEMM time (roofline model), in ms.
+    pub gemm_ms: f64,
+    /// Total element-wise kernel time (bias/ReLU/exp), in ms.
+    pub elementwise_ms: f64,
+    /// Every graph operator executed, with its simulated report.
+    pub graph_ops: Vec<(OpSite, SimReport)>,
+}
+
+impl InferenceResult {
+    /// Total graph-operator time in ms.
+    pub fn graph_ms(&self) -> f64 {
+        self.graph_ops.iter().map(|(_, r)| r.time_ms).sum()
+    }
+
+    /// End-to-end inference time in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.gemm_ms + self.elementwise_ms + self.graph_ms()
+    }
+
+    /// Fraction of time spent in graph operators.
+    pub fn graph_fraction(&self) -> f64 {
+        let total = self.total_ms();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.graph_ms() / total
+        }
+    }
+
+    /// Merged report of all ops at a given site (e.g. the per-head ops of
+    /// a GAT aggregation).
+    pub fn site_report(&self, site: &OpSite) -> Option<SimReport> {
+        let matching: Vec<&SimReport> = self
+            .graph_ops
+            .iter()
+            .filter(|(s, _)| s == site)
+            .map(|(_, r)| r)
+            .collect();
+        if matching.is_empty() {
+            None
+        } else {
+            Some(SimReport::merge_all(matching))
+        }
+    }
+}
+
+/// Runs full-graph inference for `model` over `graph`, starting from the
+/// input `features` and producing `num_classes` logits per vertex.
+///
+/// # Errors
+///
+/// Returns [`GnnError::UnsupportedModel`] if the backend rejects the model
+/// (e.g. GNNAdvisor for GAT), or propagates operator/tensor errors.
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn run_inference(
+    model: &ModelConfig,
+    graph: &Graph,
+    features: &Tensor2,
+    num_classes: usize,
+    backend: &dyn GraphOpBackend,
+) -> Result<InferenceResult, GnnError> {
+    model.validate()?;
+    if num_classes == 0 {
+        return Err(GnnError::BadConfig {
+            reason: "num_classes must be positive".to_owned(),
+        });
+    }
+    if !backend.supports(model.kind) {
+        return Err(GnnError::UnsupportedModel {
+            backend: backend.name().to_owned(),
+            model: model.kind,
+        });
+    }
+    let mut ctx = Ctx::new(graph, backend);
+    let output = match model.kind {
+        ModelKind::Gcn => gcn::forward(&mut ctx, model, features, num_classes)?,
+        ModelKind::Gin => gin::forward(&mut ctx, model, features, num_classes)?,
+        ModelKind::Gat => gat::forward(&mut ctx, model, features, num_classes)?,
+        ModelKind::SageSum | ModelKind::SageMax | ModelKind::SageMean => {
+            sage::forward(&mut ctx, model, features, num_classes)?
+        }
+    };
+    Ok(ctx.into_result(output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UGrapherBackend;
+    use ugrapher_graph::generate::uniform_random;
+    use ugrapher_sim::DeviceConfig;
+
+    fn setup() -> (Graph, Tensor2, UGrapherBackend) {
+        let g = uniform_random(120, 600, 11);
+        let x = Tensor2::from_fn(120, 12, |r, c| ((r * 3 + c) % 7) as f32 * 0.1);
+        (g, x, UGrapherBackend::quick(DeviceConfig::v100()))
+    }
+
+    #[test]
+    fn all_models_run_and_produce_logits() {
+        let (g, x, backend) = setup();
+        for kind in ModelKind::ALL {
+            let model = ModelConfig::paper_default(kind);
+            let res = run_inference(&model, &g, &x, 5, &backend)
+                .unwrap_or_else(|e| panic!("{kind:?} failed: {e}"));
+            assert_eq!(res.output.shape(), (120, 5), "{kind:?}");
+            assert!(res.total_ms() > 0.0, "{kind:?}");
+            assert!(!res.graph_ops.is_empty(), "{kind:?}");
+            assert!(
+                res.output.as_slice().iter().all(|v| v.is_finite()),
+                "{kind:?} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    fn gin_has_five_aggregations_by_default() {
+        let (g, x, backend) = setup();
+        let model = ModelConfig::paper_default(ModelKind::Gin);
+        let res = run_inference(&model, &g, &x, 3, &backend).unwrap();
+        let aggs = res
+            .graph_ops
+            .iter()
+            .filter(|(s, _)| s.kind == crate::OpSiteKind::Aggregation)
+            .count();
+        assert_eq!(aggs, 5);
+    }
+
+    #[test]
+    fn gat_exercises_message_creation_and_softmax() {
+        let (g, x, backend) = setup();
+        let model = ModelConfig::paper_default(ModelKind::Gat);
+        let res = run_inference(&model, &g, &x, 3, &backend).unwrap();
+        use crate::OpSiteKind::*;
+        for kind in [MessageCreation, SoftmaxMax, SoftmaxShift, SoftmaxSum, SoftmaxNorm, Aggregation] {
+            assert!(
+                res.graph_ops.iter().any(|(s, _)| s.kind == kind),
+                "missing {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sage_max_has_larger_gemm_share_than_gcn() {
+        // Paper §7.2: SageMax has a larger GEMM proportion, hence smaller
+        // uGrapher speedup.
+        let (g, x, backend) = setup();
+        let gcn = run_inference(
+            &ModelConfig::paper_default(ModelKind::Gcn),
+            &g,
+            &x,
+            4,
+            &backend,
+        )
+        .unwrap();
+        let smax = run_inference(
+            &ModelConfig::paper_default(ModelKind::SageMax),
+            &g,
+            &x,
+            4,
+            &backend,
+        )
+        .unwrap();
+        assert!(smax.gemm_ms > gcn.gemm_ms);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let (g, x, backend) = setup();
+        let mut model = ModelConfig::paper_default(ModelKind::Gcn);
+        model.num_layers = 0;
+        assert!(run_inference(&model, &g, &x, 4, &backend).is_err());
+        let model = ModelConfig::paper_default(ModelKind::Gcn);
+        assert!(run_inference(&model, &g, &x, 0, &backend).is_err());
+    }
+
+    #[test]
+    fn site_report_merges_gat_heads() {
+        let (g, x, backend) = setup();
+        let model = ModelConfig::paper_default(ModelKind::Gat);
+        let res = run_inference(&model, &g, &x, 3, &backend).unwrap();
+        let site = OpSite::new(ModelKind::Gat, 1, crate::OpSiteKind::Aggregation);
+        let merged = res.site_report(&site).expect("layer-1 aggregation ran");
+        // Eight heads, one kernel each.
+        assert_eq!(merged.kernels, 8);
+        let absent = OpSite::new(ModelKind::Gat, 9, crate::OpSiteKind::Aggregation);
+        assert!(res.site_report(&absent).is_none());
+    }
+
+    #[test]
+    fn graph_fraction_is_a_fraction() {
+        let (g, x, backend) = setup();
+        let res = run_inference(
+            &ModelConfig::paper_default(ModelKind::SageSum),
+            &g,
+            &x,
+            4,
+            &backend,
+        )
+        .unwrap();
+        let f = res.graph_fraction();
+        assert!((0.0..=1.0).contains(&f), "fraction {f}");
+        assert!(
+            (res.total_ms() - (res.gemm_ms + res.elementwise_ms + res.graph_ms())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn deeper_models_cost_more() {
+        let (g, x, backend) = setup();
+        let mut shallow = ModelConfig::paper_default(ModelKind::Gin);
+        shallow.num_layers = 2;
+        let mut deep = shallow;
+        deep.num_layers = 5;
+        let a = run_inference(&shallow, &g, &x, 4, &backend).unwrap();
+        let b = run_inference(&deep, &g, &x, 4, &backend).unwrap();
+        assert!(b.total_ms() > a.total_ms());
+        assert!(b.graph_ops.len() > a.graph_ops.len());
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let (g, x, backend) = setup();
+        let model = ModelConfig::paper_default(ModelKind::Gat);
+        let a = run_inference(&model, &g, &x, 4, &backend).unwrap();
+        let b = run_inference(&model, &g, &x, 4, &backend).unwrap();
+        assert_eq!(a.output, b.output);
+    }
+}

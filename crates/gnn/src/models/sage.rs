@@ -1,0 +1,76 @@
+//! GraphSage (Hamilton et al.) with the three aggregators the paper
+//! evaluates (§6): sum, mean and max. The max variant applies a pooling
+//! projection to every vertex before aggregating — the extra GEMM that
+//! gives SageMax its larger dense share (paper §7.2).
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::exec::OpOperands;
+use ugrapher_tensor::Tensor2;
+
+use crate::models::{Ctx, ModelConfig};
+use crate::{GnnError, ModelKind, OpSite, OpSiteKind};
+
+pub(crate) fn forward(
+    ctx: &mut Ctx<'_>,
+    model: &ModelConfig,
+    features: &Tensor2,
+    num_classes: usize,
+) -> Result<Tensor2, GnnError> {
+    let mut h = features.clone();
+    for l in 0..model.num_layers {
+        let (in_dim, out_dim) = Ctx::layer_dims(
+            l,
+            model.num_layers,
+            features.cols(),
+            model.hidden,
+            num_classes,
+        );
+        let last = l + 1 == model.num_layers;
+        let tag = 0x5A6E + l as u64 * 8;
+        let site = OpSite::new(model.kind, l + 1, OpSiteKind::Aggregation);
+
+        let neighbor = match model.kind {
+            ModelKind::SageSum => ctx.op(
+                site,
+                OpInfo::aggregation_sum(),
+                OpOperands::single(&h),
+            )?,
+            ModelKind::SageMean => ctx.op(
+                site,
+                OpInfo::aggregation_mean(),
+                OpOperands::single(&h),
+            )?,
+            ModelKind::SageMax => {
+                // Max-pooling: project every vertex through the pool MLP
+                // first, then take the element-wise max over in-neighbours
+                // (the paper's *unweighted-aggr-max*, §2.2).
+                let w_pool = ctx.weights.matrix(tag, in_dim, in_dim);
+                let b_pool = ctx.weights.bias(tag, in_dim);
+                let pooled = {
+                    let p = ctx.gemm(&h, &w_pool)?;
+                    ctx.bias_relu(&p, &b_pool)?
+                };
+                ctx.op(
+                    site,
+                    OpInfo::aggregation_max(),
+                    OpOperands::single(&pooled),
+                )?
+            }
+            other => unreachable!("sage::forward called for {other:?}"),
+        };
+
+        let w_self = ctx.weights.matrix(tag + 1, in_dim, out_dim);
+        let w_neigh = ctx.weights.matrix(tag + 2, in_dim, out_dim);
+        let b = ctx.weights.bias(tag + 3, out_dim);
+        let self_part = ctx.gemm(&h, &w_self)?;
+        let neigh_part = ctx.gemm(&neighbor, &w_neigh)?;
+        let combined = self_part.add(&neigh_part)?;
+        ctx.charge_elementwise(combined.len(), 3);
+        h = if last {
+            ctx.bias(&combined, &b)?
+        } else {
+            ctx.bias_relu(&combined, &b)?
+        };
+    }
+    Ok(h)
+}

@@ -1,0 +1,152 @@
+//! Operator sites: where in a model a graph operator runs.
+//!
+//! The paper names graph operators as `model-layer-type`, e.g.
+//! `GAT_L1_MsgC` or `SageMax_L2_Aggr` (Table 9); [`OpSite::label`]
+//! reproduces those names, and backends key per-operator schedule decisions
+//! on sites.
+
+use serde::{Deserialize, Serialize};
+
+/// The GNN model families of the paper's evaluation (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Graph Convolutional Network (Kipf & Welling).
+    Gcn,
+    /// Graph Isomorphism Network (Xu et al.).
+    Gin,
+    /// Graph Attention Network (Veličković et al.).
+    Gat,
+    /// GraphSage with sum aggregation.
+    SageSum,
+    /// GraphSage with max aggregation.
+    SageMax,
+    /// GraphSage with mean aggregation.
+    SageMean,
+}
+
+impl ModelKind {
+    /// All six benchmark models, in the paper's Fig. 13 order.
+    pub const ALL: [ModelKind; 6] = [
+        ModelKind::Gcn,
+        ModelKind::Gin,
+        ModelKind::Gat,
+        ModelKind::SageMax,
+        ModelKind::SageSum,
+        ModelKind::SageMean,
+    ];
+
+    /// Display name matching the paper's figures ("SMax" style).
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gin => "GIN",
+            ModelKind::Gat => "GAT",
+            ModelKind::SageSum => "SSum",
+            ModelKind::SageMax => "SMax",
+            ModelKind::SageMean => "SMean",
+        }
+    }
+
+    /// Prefix used in operator labels (Table 9 uses "SageMax_L1_Aggr").
+    fn op_prefix(self) -> &'static str {
+        match self {
+            ModelKind::Gcn => "GCN",
+            ModelKind::Gin => "GIN",
+            ModelKind::Gat => "GAT",
+            ModelKind::SageSum => "SageSum",
+            ModelKind::SageMax => "SageMax",
+            ModelKind::SageMean => "SageMean",
+        }
+    }
+}
+
+/// The role a graph operator plays within its layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpSiteKind {
+    /// Message creation (e.g. GAT's attention-logit computation).
+    MessageCreation,
+    /// The main (fused) aggregation of the layer.
+    Aggregation,
+    /// Edge-softmax max stage (GAT).
+    SoftmaxMax,
+    /// Edge-softmax shift stage (GAT, `e - max[dst]`).
+    SoftmaxShift,
+    /// Edge-softmax sum stage (GAT).
+    SoftmaxSum,
+    /// Edge-softmax normalize stage (GAT, `e / sum[dst]`).
+    SoftmaxNorm,
+}
+
+impl OpSiteKind {
+    fn suffix(self) -> &'static str {
+        match self {
+            OpSiteKind::MessageCreation => "MsgC",
+            OpSiteKind::Aggregation => "Aggr",
+            OpSiteKind::SoftmaxMax => "SoftMax",
+            OpSiteKind::SoftmaxShift => "SoftShift",
+            OpSiteKind::SoftmaxSum => "SoftSum",
+            OpSiteKind::SoftmaxNorm => "SoftNorm",
+        }
+    }
+}
+
+/// Identifies one graph-operator call site in a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpSite {
+    /// The model.
+    pub model: ModelKind,
+    /// 1-based layer index (the paper counts from L1).
+    pub layer: usize,
+    /// Role within the layer.
+    pub kind: OpSiteKind,
+}
+
+impl OpSite {
+    /// Builds a site.
+    pub fn new(model: ModelKind, layer: usize, kind: OpSiteKind) -> Self {
+        Self { model, layer, kind }
+    }
+
+    /// The paper's operator name, e.g. `"GAT_L1_MsgC"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_L{}_{}",
+            self.model.op_prefix(),
+            self.layer,
+            self.kind.suffix()
+        )
+    }
+}
+
+impl std::fmt::Display for OpSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_table9() {
+        assert_eq!(
+            OpSite::new(ModelKind::Gat, 1, OpSiteKind::MessageCreation).label(),
+            "GAT_L1_MsgC"
+        );
+        assert_eq!(
+            OpSite::new(ModelKind::Gin, 5, OpSiteKind::Aggregation).label(),
+            "GIN_L5_Aggr"
+        );
+        assert_eq!(
+            OpSite::new(ModelKind::SageMax, 2, OpSiteKind::Aggregation).label(),
+            "SageMax_L2_Aggr"
+        );
+    }
+
+    #[test]
+    fn model_labels_match_fig13() {
+        let labels: Vec<_> = ModelKind::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["GCN", "GIN", "GAT", "SMax", "SSum", "SMean"]);
+    }
+}

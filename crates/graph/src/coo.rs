@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+use crate::GraphError;
+
+/// A directed graph in coordinate (edge-list) form.
+///
+/// Edge `e` goes from `src()[e]` to `dst()[e]`; the position `e` is the
+/// *edge id* that stays stable through CSR/CSC conversion, so edge embedding
+/// tensors (`E[#edges][F]`, paper §2.1) can be indexed consistently from any
+/// traversal order.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_graph::Coo;
+///
+/// # fn main() -> Result<(), ugrapher_graph::GraphError> {
+/// let coo = Coo::new(4, vec![0, 0, 1], vec![1, 2, 2])?;
+/// assert_eq!(coo.num_edges(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coo {
+    num_vertices: usize,
+    src: Vec<u32>,
+    dst: Vec<u32>,
+}
+
+impl Coo {
+    /// Creates a COO graph, validating all endpoints.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EdgeArrayMismatch`] if `src.len() != dst.len()`;
+    /// * [`GraphError::VertexOutOfBounds`] if any endpoint is
+    ///   `>= num_vertices`.
+    pub fn new(num_vertices: usize, src: Vec<u32>, dst: Vec<u32>) -> Result<Self, GraphError> {
+        if src.len() != dst.len() {
+            return Err(GraphError::EdgeArrayMismatch {
+                src_len: src.len(),
+                dst_len: dst.len(),
+            });
+        }
+        for &v in src.iter().chain(dst.iter()) {
+            if v as usize >= num_vertices {
+                return Err(GraphError::VertexOutOfBounds {
+                    vertex: v,
+                    num_vertices,
+                });
+            }
+        }
+        Ok(Self {
+            num_vertices,
+            src,
+            dst,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.src.len()
+    }
+
+    /// Source endpoint per edge id.
+    pub fn src(&self) -> &[u32] {
+        &self.src
+    }
+
+    /// Destination endpoint per edge id.
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Iterates over `(src, dst)` pairs in edge-id order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.src.iter().copied().zip(self.dst.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_lengths() {
+        let err = Coo::new(3, vec![0, 1], vec![2]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EdgeArrayMismatch {
+                src_len: 2,
+                dst_len: 1
+            }
+        );
+    }
+
+    #[test]
+    fn new_validates_endpoints() {
+        let err = Coo::new(2, vec![0, 2], vec![1, 1]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 2, .. }));
+    }
+
+    #[test]
+    fn iter_edges_preserves_order() {
+        let coo = Coo::new(3, vec![0, 1, 2], vec![1, 2, 0]).unwrap();
+        let edges: Vec<_> = coo.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let coo = Coo::new(0, vec![], vec![]).unwrap();
+        assert_eq!(coo.num_vertices(), 0);
+        assert_eq!(coo.num_edges(), 0);
+    }
+}

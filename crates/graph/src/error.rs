@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or transforming graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// `src` and `dst` arrays of a COO graph have different lengths.
+    EdgeArrayMismatch {
+        /// Length of the source-vertex array.
+        src_len: usize,
+        /// Length of the destination-vertex array.
+        dst_len: usize,
+    },
+    /// An edge endpoint referenced a vertex id `>= num_vertices`.
+    VertexOutOfBounds {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A permutation was not a bijection over `0..num_vertices`.
+    InvalidPermutation {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EdgeArrayMismatch { src_len, dst_len } => write!(
+                f,
+                "src array has {src_len} entries but dst array has {dst_len}"
+            ),
+            GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "edge endpoint {vertex} out of bounds for graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidPermutation { reason } => {
+                write!(f, "invalid permutation: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_counts() {
+        let e = GraphError::VertexOutOfBounds {
+            vertex: 9,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+    }
+}

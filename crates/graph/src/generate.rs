@@ -1,0 +1,365 @@
+//! Synthetic graph generators.
+//!
+//! The reproduction has no access to the paper's real datasets, so it
+//! generates graphs that match the statistics the paper shows actually
+//! matter: vertex count, edge count, degree skew ("std of nnz", Table 3) and
+//! cluster locality (§1, §2.1). The schedule predictor of paper §5.4 uses
+//! only `#Vertex`, `#Edge` and `std_nnz` as graph features (Table 7), which
+//! is precisely what these generators control.
+//!
+//! All generators are deterministic given the [`GraphSpec::seed`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Coo, Graph};
+
+/// The in-degree distribution of a generated graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegreeModel {
+    /// Every vertex has (nearly) the same in-degree — models the balanced
+    /// biochemistry graphs (Yeast, DD, PROTEINS_full; std of nnz ≈ 1).
+    NearRegular,
+    /// Lognormal in-degrees with the given standard deviation (mean is
+    /// implied by `#edges / #vertices`) — used to hit a Table 3
+    /// `std of nnz` target directly.
+    TargetStd {
+        /// Desired population standard deviation of in-degrees.
+        std: f64,
+    },
+    /// Power-law (Zipf-like) in-degrees with exponent `alpha` — models
+    /// heavily skewed social graphs.
+    PowerLaw {
+        /// Zipf exponent (larger = more skew), typically 1.5–2.5.
+        alpha: f64,
+    },
+}
+
+/// A recipe for one synthetic graph.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_graph::generate::{DegreeModel, GraphSpec};
+///
+/// let g = GraphSpec {
+///     num_vertices: 1000,
+///     num_edges: 5000,
+///     degree_model: DegreeModel::TargetStd { std: 8.0 },
+///     locality: 0.5,
+///     seed: 42,
+/// }
+/// .build();
+/// assert_eq!(g.num_vertices(), 1000);
+/// assert_eq!(g.num_edges(), 5000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges (exact in the generated graph).
+    pub num_edges: usize,
+    /// In-degree distribution.
+    pub degree_model: DegreeModel,
+    /// Probability in `[0, 1]` that an edge's source is drawn from a local
+    /// index window around its destination (models community structure /
+    /// cluster locality).
+    pub locality: f64,
+    /// RNG seed; the same spec always generates the same graph.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// Generates the graph described by this spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `locality` is outside `[0, 1]`.
+    pub fn build(&self) -> Graph {
+        assert!(
+            (0.0..=1.0).contains(&self.locality),
+            "locality must be in [0, 1], got {}",
+            self.locality
+        );
+        let nv = self.num_vertices;
+        let ne = self.num_edges;
+        if nv == 0 || ne == 0 {
+            return Graph::from_edges(nv, vec![], vec![]).expect("empty edge list is valid");
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let weights = self.degree_weights(&mut rng);
+        let degrees = apportion(&weights, ne);
+
+        // Local window half-width: small communities relative to graph size.
+        let window = ((nv as f64).sqrt() as usize).clamp(4, 4096);
+
+        let mut src = Vec::with_capacity(ne);
+        let mut dst = Vec::with_capacity(ne);
+        for (d, &deg) in degrees.iter().enumerate() {
+            for _ in 0..deg {
+                let s = if rng.random::<f64>() < self.locality {
+                    let lo = d.saturating_sub(window);
+                    let hi = (d + window).min(nv - 1);
+                    rng.random_range(lo..=hi)
+                } else {
+                    rng.random_range(0..nv)
+                };
+                src.push(s as u32);
+                dst.push(d as u32);
+            }
+        }
+        // Shuffle edge ids so edge-embedding layout does not trivially match
+        // destination order (real datasets arrive in arbitrary edge order).
+        let mut perm: Vec<usize> = (0..ne).collect();
+        for i in (1..ne).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        let src: Vec<u32> = perm.iter().map(|&i| src[i]).collect();
+        let dst: Vec<u32> = perm.iter().map(|&i| dst[i]).collect();
+
+        Graph::from_coo(&Coo::new(nv, src, dst).expect("generated endpoints are in range"))
+    }
+
+    /// Raw (unnormalized) per-vertex in-degree weights.
+    fn degree_weights(&self, rng: &mut StdRng) -> Vec<f64> {
+        let nv = self.num_vertices;
+        let mean = self.num_edges as f64 / nv as f64;
+        match self.degree_model {
+            DegreeModel::NearRegular => vec![1.0; nv],
+            DegreeModel::TargetStd { std } => {
+                if std <= f64::EPSILON {
+                    return vec![1.0; nv];
+                }
+                // Lognormal with E[X] = mean, SD[X] = std:
+                //   sigma^2 = ln(1 + (std/mean)^2),  mu = ln(mean) - sigma^2/2
+                let ratio = std / mean;
+                let sigma2 = (1.0 + ratio * ratio).ln();
+                let mu = mean.ln() - sigma2 / 2.0;
+                let sigma = sigma2.sqrt();
+                (0..nv)
+                    .map(|_| (mu + sigma * standard_normal(rng)).exp())
+                    .collect()
+            }
+            DegreeModel::PowerLaw { alpha } => {
+                let mut w: Vec<f64> = (0..nv).map(|v| ((v + 1) as f64).powf(-alpha)).collect();
+                // Shuffle so hub vertices are not all at low indices.
+                for i in (1..nv).rev() {
+                    let j = rng.random_range(0..=i);
+                    w.swap(i, j);
+                }
+                w
+            }
+        }
+    }
+}
+
+/// Samples a standard normal via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Converts positive weights into integer degrees summing exactly to
+/// `total`, using largest-remainder apportionment.
+fn apportion(weights: &[f64], total: usize) -> Vec<usize> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        let mut out = vec![0usize; weights.len()];
+        if !out.is_empty() {
+            out[0] = total;
+        }
+        return out;
+    }
+    let mut degrees = Vec::with_capacity(weights.len());
+    let mut fractional: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = w / sum * total as f64;
+        let floor = exact.floor() as usize;
+        degrees.push(floor);
+        assigned += floor;
+        fractional.push((exact - floor as f64, i));
+    }
+    let remaining = total - assigned;
+    fractional.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for &(_, i) in fractional.iter().take(remaining) {
+        degrees[i] += 1;
+    }
+    degrees
+}
+
+/// Generates a ring graph (`v -> v+1 mod n`), the simplest balanced graph —
+/// handy in tests.
+pub fn ring(n: usize) -> Graph {
+    let src: Vec<u32> = (0..n as u32).collect();
+    let dst: Vec<u32> = (0..n as u32).map(|v| (v + 1) % n.max(1) as u32).collect();
+    Graph::from_edges(n, src, dst).expect("ring endpoints are in range")
+}
+
+/// Generates an Erdős–Rényi-style random graph with exactly `ne` edges.
+pub fn uniform_random(nv: usize, ne: usize, seed: u64) -> Graph {
+    GraphSpec {
+        num_vertices: nv,
+        num_edges: ne,
+        degree_model: DegreeModel::NearRegular,
+        locality: 0.0,
+        seed,
+    }
+    .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_vertex_and_edge_counts() {
+        for &(nv, ne) in &[(10usize, 50usize), (1000, 5000), (97, 331)] {
+            let g = GraphSpec {
+                num_vertices: nv,
+                num_edges: ne,
+                degree_model: DegreeModel::TargetStd { std: 5.0 },
+                locality: 0.3,
+                seed: 7,
+            }
+            .build();
+            assert_eq!(g.num_vertices(), nv);
+            assert_eq!(g.num_edges(), ne);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = GraphSpec {
+            num_vertices: 200,
+            num_edges: 1000,
+            degree_model: DegreeModel::PowerLaw { alpha: 2.0 },
+            locality: 0.5,
+            seed: 99,
+        };
+        assert_eq!(spec.build().to_coo(), spec.build().to_coo());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = GraphSpec {
+            num_vertices: 200,
+            num_edges: 1000,
+            degree_model: DegreeModel::NearRegular,
+            locality: 0.0,
+            seed: 1,
+        };
+        let a = spec.build().to_coo();
+        spec.seed = 2;
+        let b = spec.build().to_coo();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn near_regular_has_low_std() {
+        let g = GraphSpec {
+            num_vertices: 1000,
+            num_edges: 8000,
+            degree_model: DegreeModel::NearRegular,
+            locality: 0.0,
+            seed: 3,
+        }
+        .build();
+        let s = g.degree_stats();
+        assert!(s.std_in_degree < 1.0, "std was {}", s.std_in_degree);
+    }
+
+    #[test]
+    fn target_std_is_roughly_hit() {
+        let g = GraphSpec {
+            num_vertices: 20_000,
+            num_edges: 200_000,
+            degree_model: DegreeModel::TargetStd { std: 20.0 },
+            locality: 0.0,
+            seed: 11,
+        }
+        .build();
+        let s = g.degree_stats();
+        assert!(
+            (s.std_in_degree - 20.0).abs() < 5.0,
+            "std was {}",
+            s.std_in_degree
+        );
+    }
+
+    #[test]
+    fn power_law_is_more_skewed_than_regular() {
+        let base = |model| {
+            GraphSpec {
+                num_vertices: 2000,
+                num_edges: 20_000,
+                degree_model: model,
+                locality: 0.0,
+                seed: 5,
+            }
+            .build()
+            .degree_stats()
+            .imbalance()
+        };
+        assert!(base(DegreeModel::PowerLaw { alpha: 1.8 }) > 3.0 * base(DegreeModel::NearRegular));
+    }
+
+    #[test]
+    fn locality_concentrates_sources() {
+        let build = |locality| {
+            GraphSpec {
+                num_vertices: 10_000,
+                num_edges: 50_000,
+                degree_model: DegreeModel::NearRegular,
+                locality,
+                seed: 13,
+            }
+            .build()
+        };
+        let spread = |g: &Graph| {
+            let coo = g.to_coo();
+            coo.iter_edges()
+                .map(|(s, d)| (s as i64 - d as i64).unsigned_abs() as f64)
+                .sum::<f64>()
+                / g.num_edges() as f64
+        };
+        let local = spread(&build(0.9));
+        let global = spread(&build(0.0));
+        assert!(
+            local < global / 4.0,
+            "local spread {local} vs global {global}"
+        );
+    }
+
+    #[test]
+    fn apportion_sums_exactly() {
+        let w = vec![0.3, 0.2, 0.5, 1.7];
+        for total in [0usize, 1, 7, 100, 12345] {
+            assert_eq!(apportion(&w, total).iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn ring_is_regular() {
+        let g = ring(16);
+        assert_eq!(g.num_edges(), 16);
+        assert_eq!(g.degree_stats().std_in_degree, 0.0);
+    }
+
+    #[test]
+    fn zero_sized_specs() {
+        let g = GraphSpec {
+            num_vertices: 0,
+            num_edges: 0,
+            degree_model: DegreeModel::NearRegular,
+            locality: 0.0,
+            seed: 0,
+        }
+        .build();
+        assert_eq!(g.num_vertices(), 0);
+    }
+}

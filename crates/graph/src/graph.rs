@@ -1,0 +1,260 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Coo, DegreeStats, GraphError};
+
+/// A directed graph with both in-edge (CSC-like) and out-edge (CSR-like)
+/// adjacency, preserving stable edge ids.
+///
+/// This is the runtime representation used by every executor in the
+/// reproduction. The in-edge view backs the paper's canonical loop nest
+/// (`for dst in V: for edge in dst.get_inedges()`, Fig. 4); the out-edge
+/// view backs push-style baselines.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_graph::{Coo, Graph};
+///
+/// # fn main() -> Result<(), ugrapher_graph::GraphError> {
+/// let coo = Coo::new(3, vec![0, 0, 1], vec![1, 2, 2])?;
+/// let g = Graph::from_coo(&coo);
+/// // Vertex 2 has two incoming edges: from 0 (edge id 1) and 1 (edge id 2).
+/// let ins: Vec<_> = g.in_neighbors(2).collect();
+/// assert_eq!(ins, vec![(0, 1), (1, 2)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_vertices: usize,
+    num_edges: usize,
+    /// In-edge offsets per destination vertex: length `num_vertices + 1`.
+    in_ptr: Vec<usize>,
+    /// Source vertex of each in-edge slot.
+    in_src: Vec<u32>,
+    /// Stable edge id of each in-edge slot.
+    in_eid: Vec<u32>,
+    /// Out-edge offsets per source vertex: length `num_vertices + 1`.
+    out_ptr: Vec<usize>,
+    /// Destination vertex of each out-edge slot.
+    out_dst: Vec<u32>,
+    /// Stable edge id of each out-edge slot.
+    out_eid: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds adjacency from a COO edge list. Edge ids are the COO positions.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let nv = coo.num_vertices();
+        let ne = coo.num_edges();
+
+        let (in_ptr, in_src, in_eid) = bucket_by(nv, coo.dst(), coo.src());
+        let (out_ptr, out_dst, out_eid) = bucket_by(nv, coo.src(), coo.dst());
+
+        Self {
+            num_vertices: nv,
+            num_edges: ne,
+            in_ptr,
+            in_src,
+            in_eid,
+            out_ptr,
+            out_dst,
+            out_eid,
+        }
+    }
+
+    /// Convenience constructor from raw edge arrays.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Coo::new`].
+    pub fn from_edges(
+        num_vertices: usize,
+        src: Vec<u32>,
+        dst: Vec<u32>,
+    ) -> Result<Self, GraphError> {
+        Ok(Self::from_coo(&Coo::new(num_vertices, src, dst)?))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// In-degree of vertex `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.in_ptr[v + 1] - self.in_ptr[v]
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out_ptr[v + 1] - self.out_ptr[v]
+    }
+
+    /// Iterates over `(src, edge_id)` for the in-edges of `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst >= num_vertices()`.
+    pub fn in_neighbors(&self, dst: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let range = self.in_ptr[dst]..self.in_ptr[dst + 1];
+        self.in_src[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.in_eid[range].iter().copied())
+    }
+
+    /// Iterates over `(dst, edge_id)` for the out-edges of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src >= num_vertices()`.
+    pub fn out_neighbors(&self, src: usize) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let range = self.out_ptr[src]..self.out_ptr[src + 1];
+        self.out_dst[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.out_eid[range].iter().copied())
+    }
+
+    /// The in-edge offset array (`num_vertices + 1` entries).
+    pub fn in_ptr(&self) -> &[usize] {
+        &self.in_ptr
+    }
+
+    /// Source vertex per in-edge slot (aligned with [`Graph::in_eid`]).
+    pub fn in_src(&self) -> &[u32] {
+        &self.in_src
+    }
+
+    /// Stable edge id per in-edge slot.
+    pub fn in_eid(&self) -> &[u32] {
+        &self.in_eid
+    }
+
+    /// The out-edge offset array (`num_vertices + 1` entries).
+    pub fn out_ptr(&self) -> &[usize] {
+        &self.out_ptr
+    }
+
+    /// Destination vertex per out-edge slot (aligned with [`Graph::out_eid`]).
+    pub fn out_dst(&self) -> &[u32] {
+        &self.out_dst
+    }
+
+    /// Stable edge id per out-edge slot.
+    pub fn out_eid(&self) -> &[u32] {
+        &self.out_eid
+    }
+
+    /// Reconstructs `(src, dst)` per edge id, inverting the CSR build.
+    pub fn to_coo(&self) -> Coo {
+        let mut src = vec![0u32; self.num_edges];
+        let mut dst = vec![0u32; self.num_edges];
+        for d in 0..self.num_vertices {
+            for (s, e) in self.in_neighbors(d) {
+                src[e as usize] = s;
+                dst[e as usize] = d as u32;
+            }
+        }
+        Coo::new(self.num_vertices, src, dst).expect("internal adjacency is always valid")
+    }
+
+    /// In-degree statistics ("std of nnz" in paper Table 3).
+    pub fn degree_stats(&self) -> DegreeStats {
+        DegreeStats::from_graph(self)
+    }
+}
+
+/// Buckets edges by `key[e]`, producing `(ptr, other, eid)` CSR arrays.
+fn bucket_by(nv: usize, key: &[u32], other: &[u32]) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+    let ne = key.len();
+    let mut ptr = vec![0usize; nv + 1];
+    for &k in key {
+        ptr[k as usize + 1] += 1;
+    }
+    for i in 0..nv {
+        ptr[i + 1] += ptr[i];
+    }
+    let mut cursor = ptr[..nv].to_vec();
+    let mut out_other = vec![0u32; ne];
+    let mut out_eid = vec![0u32; ne];
+    for e in 0..ne {
+        let k = key[e] as usize;
+        let slot = cursor[k];
+        cursor[k] += 1;
+        out_other[slot] = other[e];
+        out_eid[slot] = e as u32;
+    }
+    (ptr, out_other, out_eid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        Graph::from_edges(4, vec![0, 0, 1, 2], vec![1, 2, 3, 3]).unwrap()
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 0);
+    }
+
+    #[test]
+    fn in_neighbors_carry_edge_ids() {
+        let g = diamond();
+        let ins: Vec<_> = g.in_neighbors(3).collect();
+        assert_eq!(ins, vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn out_neighbors_carry_edge_ids() {
+        let g = diamond();
+        let outs: Vec<_> = g.out_neighbors(0).collect();
+        assert_eq!(outs, vec![(1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let coo = Coo::new(5, vec![4, 0, 2, 2, 1], vec![0, 3, 1, 1, 4]).unwrap();
+        let g = Graph::from_coo(&coo);
+        assert_eq!(g.to_coo(), coo);
+    }
+
+    #[test]
+    fn self_loops_and_multi_edges_allowed() {
+        let g = Graph::from_edges(2, vec![0, 0, 1], vec![0, 1, 1]).unwrap();
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.in_degree(1), 2);
+        let ins: Vec<_> = g.in_neighbors(1).collect();
+        assert_eq!(ins, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, vec![], vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g = Graph::from_edges(10, vec![0], vec![9]).unwrap();
+        for v in 1..9 {
+            assert_eq!(g.in_degree(v), 0);
+            assert_eq!(g.out_degree(v), 0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Graph I/O: plain edge lists and MatrixMarket coordinate files.
+//!
+//! The paper's datasets ship as edge lists (SNAP `.txt`) or MatrixMarket
+//! `.mtx` files from the network repository. This module reads both, so a
+//! user with the real files can run every experiment on them instead of
+//! the synthetic stand-ins (`Dataset::build`).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{Coo, Graph, GraphError};
+
+/// Errors produced while parsing graph files.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The parsed edges failed graph validation.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            IoError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list (`src dst` per line). Lines
+/// starting with `#` or `%` are comments. Vertex ids are 0-based; the
+/// vertex count is `max id + 1` unless a larger `min_vertices` is given.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed lines or I/O failure.
+pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, IoError> {
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut max_id = 0u32;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let mut next = |name: &str| -> Result<u32, IoError> {
+            parts
+                .next()
+                .ok_or_else(|| IoError::Parse {
+                    line: idx + 1,
+                    reason: format!("missing {name}"),
+                })?
+                .parse()
+                .map_err(|e| IoError::Parse {
+                    line: idx + 1,
+                    reason: format!("bad {name}: {e}"),
+                })
+        };
+        let s = next("source")?;
+        let d = next("destination")?;
+        max_id = max_id.max(s).max(d);
+        src.push(s);
+        dst.push(d);
+    }
+    let nv = if src.is_empty() {
+        min_vertices
+    } else {
+        (max_id as usize + 1).max(min_vertices)
+    };
+    Ok(Graph::from_coo(&Coo::new(nv, src, dst)?))
+}
+
+/// Reads a MatrixMarket coordinate file as a directed graph (entry
+/// `(i, j)` becomes edge `j-1 -> i-1`: column index = source, row =
+/// destination, matching adjacency-matrix SpMM convention). Values, if
+/// present, are ignored.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on malformed headers/lines or I/O failure.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let mut lines = BufReader::new(reader).lines().enumerate();
+    // Skip banner + comments, find the size line.
+    let (nv, declared_edges) = loop {
+        let Some((idx, line)) = lines.next() else {
+            return Err(IoError::Parse {
+                line: 0,
+                reason: "missing size header".to_owned(),
+            });
+        };
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let nums: Vec<usize> = t
+            .split_whitespace()
+            .map(|x| {
+                x.parse().map_err(|e| IoError::Parse {
+                    line: idx + 1,
+                    reason: format!("bad size entry: {e}"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        if nums.len() < 3 {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: "size line needs rows cols nnz".to_owned(),
+            });
+        }
+        break (nums[0].max(nums[1]), nums[2]);
+    };
+
+    let mut src = Vec::with_capacity(declared_edges);
+    let mut dst = Vec::with_capacity(declared_edges);
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let parse = |v: Option<&str>, name: &str| -> Result<u32, IoError> {
+            v.ok_or_else(|| IoError::Parse {
+                line: idx + 1,
+                reason: format!("missing {name}"),
+            })?
+            .parse::<u32>()
+            .map_err(|e| IoError::Parse {
+                line: idx + 1,
+                reason: format!("bad {name}: {e}"),
+            })
+        };
+        let row = parse(parts.next(), "row")?;
+        let col = parse(parts.next(), "col")?;
+        if row == 0 || col == 0 {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: "MatrixMarket indices are 1-based".to_owned(),
+            });
+        }
+        src.push(col - 1);
+        dst.push(row - 1);
+    }
+    Ok(Graph::from_coo(&Coo::new(nv, src, dst)?))
+}
+
+/// Writes a graph as a `src dst` edge list (inverse of
+/// [`read_edge_list`]).
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
+    let coo = graph.to_coo();
+    writeln!(writer, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (s, d) in coo.iter_edges() {
+        writeln!(writer, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::uniform_random;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = uniform_random(50, 300, 1);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], g.num_vertices()).unwrap();
+        assert_eq!(back.to_coo(), g.to_coo());
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n% other comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 0).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_reports_bad_lines() {
+        let err = read_edge_list("0 x\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        let err = read_edge_list("7\n".as_bytes(), 0).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn min_vertices_pads_isolated_tail() {
+        let g = read_edge_list("0 1\n".as_bytes(), 10).unwrap();
+        assert_eq!(g.num_vertices(), 10);
+    }
+
+    #[test]
+    fn matrix_market_basic() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % comment\n\
+                    3 3 2\n\
+                    1 2 0.5\n\
+                    3 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        // Entry (1,2) => edge 1 -> 0; entry (3,1) => edge 0 -> 2.
+        assert_eq!(g.in_neighbors(0).next().unwrap().0, 1);
+        assert_eq!(g.in_neighbors(2).next().unwrap().0, 0);
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_based() {
+        let text = "3 3 1\n0 1\n";
+        assert!(matches!(
+            read_matrix_market(text.as_bytes()),
+            Err(IoError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_edge_list_ok() {
+        let g = read_edge_list("# nothing\n".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Neighbor grouping (edge partitioning).
+//!
+//! GNNAdvisor-style kernels split each vertex's neighbour list into
+//! fixed-size groups so that work units have bounded size regardless of
+//! degree skew; uGrapher's *V/E grouping* knob (paper §4.2) generalises the
+//! same idea. This module produces the group list from a graph's in-edge
+//! CSR layout.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Graph;
+
+/// A contiguous slice of one destination vertex's in-edge slots.
+///
+/// `start..start + len` indexes into [`Graph::in_src`] / [`Graph::in_eid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborGroup {
+    /// The destination vertex whose in-edges this group covers.
+    pub dst: u32,
+    /// First in-edge slot of the group.
+    pub start: usize,
+    /// Number of edges in the group (`1..=group_size`).
+    pub len: usize,
+}
+
+/// Splits every vertex's in-edge list into groups of at most `group_size`.
+///
+/// Vertices with zero in-degree produce no groups. The concatenation of all
+/// groups covers every in-edge slot exactly once, in CSR order.
+///
+/// # Panics
+///
+/// Panics if `group_size == 0`.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_graph::{partition::neighbor_groups, Graph};
+///
+/// # fn main() -> Result<(), ugrapher_graph::GraphError> {
+/// let g = Graph::from_edges(2, vec![0, 0, 0], vec![1, 1, 1])?;
+/// let groups = neighbor_groups(&g, 2);
+/// assert_eq!(groups.len(), 2); // 3 in-edges -> groups of 2 and 1
+/// assert_eq!(groups[0].len, 2);
+/// assert_eq!(groups[1].len, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn neighbor_groups(graph: &Graph, group_size: usize) -> Vec<NeighborGroup> {
+    assert!(group_size > 0, "group_size must be positive");
+    let mut groups = Vec::new();
+    for dst in 0..graph.num_vertices() {
+        let begin = graph.in_ptr()[dst];
+        let end = graph.in_ptr()[dst + 1];
+        let mut start = begin;
+        while start < end {
+            let len = (end - start).min(group_size);
+            groups.push(NeighborGroup {
+                dst: dst as u32,
+                start,
+                len,
+            });
+            start += len;
+        }
+    }
+    groups
+}
+
+/// The maximum number of groups any single destination vertex contributes —
+/// a measure of how well grouping re-balances skewed degrees.
+pub fn max_groups_per_vertex(graph: &Graph, group_size: usize) -> usize {
+    (0..graph.num_vertices())
+        .map(|v| graph.in_degree(v).div_ceil(group_size))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n: usize) -> Graph {
+        let src: Vec<u32> = (1..n as u32).collect();
+        let dst = vec![0u32; n - 1];
+        Graph::from_edges(n, src, dst).unwrap()
+    }
+
+    #[test]
+    fn groups_cover_all_edges_exactly_once() {
+        let g = star(10);
+        let groups = neighbor_groups(&g, 4);
+        let covered: usize = groups.iter().map(|grp| grp.len).sum();
+        assert_eq!(covered, g.num_edges());
+        // Contiguous coverage in CSR order.
+        let mut cursor = 0;
+        for grp in &groups {
+            assert_eq!(grp.start, cursor);
+            cursor += grp.len;
+        }
+    }
+
+    #[test]
+    fn group_size_bounds_respected() {
+        let g = star(23);
+        for gs in [1usize, 3, 8, 64] {
+            for grp in neighbor_groups(&g, gs) {
+                assert!(grp.len >= 1 && grp.len <= gs);
+            }
+        }
+    }
+
+    #[test]
+    fn grouping_rebalances_star() {
+        let g = star(100);
+        assert_eq!(max_groups_per_vertex(&g, 99), 1);
+        assert_eq!(max_groups_per_vertex(&g, 10), 10);
+        assert_eq!(max_groups_per_vertex(&g, 1), 99);
+    }
+
+    #[test]
+    fn zero_degree_vertices_emit_no_groups() {
+        let g = Graph::from_edges(4, vec![0], vec![1]).unwrap();
+        let groups = neighbor_groups(&g, 8);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].dst, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "group_size must be positive")]
+    fn zero_group_size_panics() {
+        let g = star(3);
+        let _ = neighbor_groups(&g, 0);
+    }
+}

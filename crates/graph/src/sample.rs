@@ -1,0 +1,229 @@
+//! Mini-batch neighbor sampling.
+//!
+//! The paper's evaluation targets full-graph inference, noting that
+//! mini-batch inference "performs sampling preprocessing first, and then
+//! executes the graph operator — as such, this falls back to full-graph
+//! inference in our case" (§6, *Batchsize*). This module provides that
+//! sampling preprocessing: GraphSAGE-style k-hop neighbor sampling that
+//! extracts, for a seed set of vertices, the subgraph a mini-batch
+//! actually computes on. The resulting [`SampledBatch`] is an ordinary
+//! [`Graph`] plus vertex mappings, so every uGrapher operator and schedule
+//! applies unchanged.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{Coo, Graph};
+
+/// Configuration of k-hop neighbor sampling.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleConfig {
+    /// Maximum in-neighbors kept per vertex per hop (GraphSAGE's fanout).
+    pub fanout: Vec<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SampleConfig {
+    /// GraphSAGE's default two-hop fanout (25, 10).
+    pub fn sage_default() -> Self {
+        Self {
+            fanout: vec![25, 10],
+            seed: 0x5A9E,
+        }
+    }
+}
+
+/// A sampled mini-batch subgraph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampledBatch {
+    /// The extracted subgraph, with vertices renumbered to `0..n`.
+    pub graph: Graph,
+    /// Original vertex id of each subgraph vertex (`local -> global`).
+    /// Seeds come first, in their input order.
+    pub global_of_local: Vec<u32>,
+    /// Number of seed vertices (a prefix of the local id space).
+    pub num_seeds: usize,
+}
+
+impl SampledBatch {
+    /// Local id of a global vertex, if it was sampled.
+    pub fn local_of(&self, global: u32) -> Option<u32> {
+        self.global_of_local
+            .iter()
+            .position(|&g| g == global)
+            .map(|i| i as u32)
+    }
+}
+
+/// Samples the k-hop in-neighborhood of `seeds` with per-hop fanouts.
+///
+/// Edges kept are those traversed during sampling; each vertex retains at
+/// most `fanout[h]` in-edges at hop `h` (uniformly chosen when its degree
+/// exceeds the fanout). Multi-edges of the input are preserved as
+/// candidates.
+///
+/// # Panics
+///
+/// Panics if any seed is out of range or `config.fanout` is empty.
+pub fn sample_neighbors(graph: &Graph, seeds: &[u32], config: &SampleConfig) -> SampledBatch {
+    assert!(!config.fanout.is_empty(), "fanout must have at least one hop");
+    for &s in seeds {
+        assert!(
+            (s as usize) < graph.num_vertices(),
+            "seed {s} out of range for {} vertices",
+            graph.num_vertices()
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut local_of_global = vec![u32::MAX; graph.num_vertices()];
+    let mut global_of_local: Vec<u32> = Vec::new();
+    let intern = |g: u32, table: &mut Vec<u32>, map: &mut Vec<u32>| -> u32 {
+        if map[g as usize] == u32::MAX {
+            map[g as usize] = table.len() as u32;
+            table.push(g);
+        }
+        map[g as usize]
+    };
+
+    for &s in seeds {
+        intern(s, &mut global_of_local, &mut local_of_global);
+    }
+
+    let mut frontier: Vec<u32> = seeds.to_vec();
+    let mut src_out: Vec<u32> = Vec::new();
+    let mut dst_out: Vec<u32> = Vec::new();
+
+    for &fanout in &config.fanout {
+        let mut next_frontier = Vec::new();
+        for &v in &frontier {
+            let deg = graph.in_degree(v as usize);
+            let keep: Vec<usize> = if deg <= fanout {
+                (0..deg).collect()
+            } else {
+                // Uniform sample without replacement (partial Fisher-Yates
+                // over slot offsets).
+                let mut idx: Vec<usize> = (0..deg).collect();
+                for i in 0..fanout {
+                    let j = rng.random_range(i..deg);
+                    idx.swap(i, j);
+                }
+                idx.truncate(fanout);
+                idx
+            };
+            let slots: Vec<(u32, u32)> = graph.in_neighbors(v as usize).collect();
+            let v_local = local_of_global[v as usize];
+            for k in keep {
+                let (u, _eid) = slots[k];
+                let was_new = local_of_global[u as usize] == u32::MAX;
+                let u_local = intern(u, &mut global_of_local, &mut local_of_global);
+                src_out.push(u_local);
+                dst_out.push(v_local);
+                if was_new {
+                    next_frontier.push(u);
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+
+    let n = global_of_local.len();
+    let coo = Coo::new(n, src_out, dst_out).expect("interned ids are in range");
+    SampledBatch {
+        graph: Graph::from_coo(&coo),
+        global_of_local,
+        num_seeds: seeds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{uniform_random, GraphSpec};
+
+    fn config(fanout: Vec<usize>) -> SampleConfig {
+        SampleConfig { fanout, seed: 42 }
+    }
+
+    #[test]
+    fn seeds_occupy_prefix_of_local_ids() {
+        let g = uniform_random(200, 1600, 1);
+        let seeds = [5u32, 17, 99];
+        let batch = sample_neighbors(&g, &seeds, &config(vec![4]));
+        assert_eq!(batch.num_seeds, 3);
+        assert_eq!(&batch.global_of_local[..3], &seeds);
+        assert_eq!(batch.local_of(17), Some(1));
+    }
+
+    #[test]
+    fn fanout_bounds_in_degree_of_seeds() {
+        let g = uniform_random(300, 6000, 2); // mean in-degree 20
+        let seeds: Vec<u32> = (0..20).collect();
+        let batch = sample_neighbors(&g, &seeds, &config(vec![5]));
+        for s in 0..batch.num_seeds {
+            assert!(
+                batch.graph.in_degree(s) <= 5,
+                "seed {s} kept {} in-edges",
+                batch.graph.in_degree(s)
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_original_graph() {
+        let g = uniform_random(100, 800, 3);
+        let batch = sample_neighbors(&g, &[1, 2, 3], &config(vec![3, 3]));
+        let coo = batch.graph.to_coo();
+        for (ls, ld) in coo.iter_edges() {
+            let gs = batch.global_of_local[ls as usize];
+            let gd = batch.global_of_local[ld as usize];
+            assert!(
+                g.in_neighbors(gd as usize).any(|(u, _)| u == gs),
+                "edge {gs}->{gd} not in the original graph"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = uniform_random(150, 1200, 4);
+        let a = sample_neighbors(&g, &[0, 1], &config(vec![4, 4]));
+        let b = sample_neighbors(&g, &[0, 1], &config(vec![4, 4]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn low_degree_graphs_keep_all_edges() {
+        let g = crate::generate::ring(32);
+        let seeds: Vec<u32> = (0..32).collect();
+        let batch = sample_neighbors(&g, &seeds, &config(vec![10]));
+        assert_eq!(batch.graph.num_edges(), 32);
+    }
+
+    #[test]
+    fn multi_hop_grows_the_neighborhood() {
+        let g = GraphSpec {
+            num_vertices: 5000,
+            num_edges: 25_000,
+            degree_model: crate::generate::DegreeModel::NearRegular,
+            locality: 0.0,
+            seed: 9,
+        }
+        .build();
+        let one = sample_neighbors(&g, &[7], &config(vec![10]));
+        let two = sample_neighbors(&g, &[7], &config(vec![10, 10]));
+        assert!(two.graph.num_vertices() > one.graph.num_vertices());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_seed_panics() {
+        let g = uniform_random(10, 40, 5);
+        let _ = sample_neighbors(&g, &[10], &config(vec![2]));
+    }
+}

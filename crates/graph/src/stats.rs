@@ -1,0 +1,128 @@
+//! Degree statistics.
+//!
+//! The paper characterises datasets by vertex count, edge count and the
+//! standard deviation of non-zeros per adjacency-matrix row ("std of nnz",
+//! Table 3) — which is the standard deviation of in-degrees. The same three
+//! numbers are the graph features of the schedule predictor (Table 7), so
+//! this module is shared by reporting and tuning.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Graph;
+
+/// Summary statistics of a graph's in-degree distribution.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_graph::{DegreeStats, Graph};
+///
+/// # fn main() -> Result<(), ugrapher_graph::GraphError> {
+/// let g = Graph::from_edges(3, vec![0, 1, 2, 0], vec![2, 2, 1, 2])?;
+/// let s = g.degree_stats();
+/// assert_eq!(s.max_in_degree, 3);
+/// assert!((s.mean_in_degree - 4.0 / 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of edges.
+    pub num_edges: usize,
+    /// Mean in-degree (`#edges / #vertices`).
+    pub mean_in_degree: f64,
+    /// Population standard deviation of in-degrees — the paper's
+    /// "std of nnz".
+    pub std_in_degree: f64,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Fraction of vertices with zero in-degree.
+    pub zero_in_fraction: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics for a graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let nv = g.num_vertices();
+        if nv == 0 {
+            return Self {
+                num_vertices: 0,
+                num_edges: 0,
+                mean_in_degree: 0.0,
+                std_in_degree: 0.0,
+                max_in_degree: 0,
+                zero_in_fraction: 0.0,
+            };
+        }
+        let degrees: Vec<usize> = (0..nv).map(|v| g.in_degree(v)).collect();
+        let mean = g.num_edges() as f64 / nv as f64;
+        let var = degrees
+            .iter()
+            .map(|&d| {
+                let diff = d as f64 - mean;
+                diff * diff
+            })
+            .sum::<f64>()
+            / nv as f64;
+        Self {
+            num_vertices: nv,
+            num_edges: g.num_edges(),
+            mean_in_degree: mean,
+            std_in_degree: var.sqrt(),
+            max_in_degree: degrees.iter().copied().max().unwrap_or(0),
+            zero_in_fraction: degrees.iter().filter(|&&d| d == 0).count() as f64 / nv as f64,
+        }
+    }
+
+    /// Coefficient of variation (`std / mean`); a scale-free imbalance
+    /// measure. Returns 0 for an empty graph.
+    pub fn imbalance(&self) -> f64 {
+        if self.mean_in_degree == 0.0 {
+            0.0
+        } else {
+            self.std_in_degree / self.mean_in_degree
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Graph;
+
+    #[test]
+    fn regular_graph_has_zero_std() {
+        // Ring: every vertex has in-degree exactly 1.
+        let n = 8u32;
+        let src: Vec<u32> = (0..n).collect();
+        let dst: Vec<u32> = (0..n).map(|v| (v + 1) % n).collect();
+        let g = Graph::from_edges(n as usize, src, dst).unwrap();
+        let s = g.degree_stats();
+        assert_eq!(s.std_in_degree, 0.0);
+        assert_eq!(s.mean_in_degree, 1.0);
+        assert_eq!(s.zero_in_fraction, 0.0);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn star_graph_is_imbalanced() {
+        // All edges point at vertex 0.
+        let n = 10usize;
+        let src: Vec<u32> = (1..n as u32).collect();
+        let dst = vec![0u32; n - 1];
+        let g = Graph::from_edges(n, src, dst).unwrap();
+        let s = g.degree_stats();
+        assert_eq!(s.max_in_degree, n - 1);
+        assert!(s.imbalance() > 2.0);
+        assert!((s.zero_in_fraction - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::from_edges(0, vec![], vec![]).unwrap();
+        let s = g.degree_stats();
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.std_in_degree, 0.0);
+    }
+}

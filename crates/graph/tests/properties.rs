@@ -1,0 +1,122 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use ugrapher_graph::generate::{DegreeModel, GraphSpec};
+use ugrapher_graph::partition::neighbor_groups;
+use ugrapher_graph::reorder::{cluster_order, degree_order, Permutation};
+use ugrapher_graph::{Coo, Graph};
+
+/// Random COO graphs with up to 40 vertices and 120 edges.
+fn coo_strategy() -> impl Strategy<Value = Coo> {
+    (2usize..40).prop_flat_map(|nv| {
+        prop::collection::vec((0..nv as u32, 0..nv as u32), 0..120).prop_map(move |edges| {
+            let (src, dst): (Vec<u32>, Vec<u32>) = edges.into_iter().unzip();
+            Coo::new(nv, src, dst).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_graph_round_trip(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        prop_assert_eq!(g.to_coo(), coo);
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        let in_sum: usize = (0..g.num_vertices()).map(|v| g.in_degree(v)).sum();
+        let out_sum: usize = (0..g.num_vertices()).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(in_sum, g.num_edges());
+        prop_assert_eq!(out_sum, g.num_edges());
+    }
+
+    #[test]
+    fn every_edge_id_appears_once_in_each_view(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        let mut in_ids: Vec<u32> = g.in_eid().to_vec();
+        let mut out_ids: Vec<u32> = g.out_eid().to_vec();
+        in_ids.sort_unstable();
+        out_ids.sort_unstable();
+        let expect: Vec<u32> = (0..g.num_edges() as u32).collect();
+        prop_assert_eq!(in_ids, expect.clone());
+        prop_assert_eq!(out_ids, expect);
+    }
+
+    #[test]
+    fn in_and_out_views_agree(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        // Edge (s, e) in in-view of d must appear as (d, e) in out-view of s.
+        for d in 0..g.num_vertices() {
+            for (s, e) in g.in_neighbors(d) {
+                let found = g.out_neighbors(s as usize).any(|(dd, ee)| dd == d as u32 && ee == e);
+                prop_assert!(found, "edge {e} missing from out-view");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_hits_exact_counts(
+        nv in 2usize..200,
+        mul in 1usize..8,
+        seed in 0u64..1000,
+        locality in 0.0f64..1.0,
+    ) {
+        let ne = nv * mul;
+        let g = GraphSpec {
+            num_vertices: nv,
+            num_edges: ne,
+            degree_model: DegreeModel::TargetStd { std: 3.0 },
+            locality,
+            seed,
+        }
+        .build();
+        prop_assert_eq!(g.num_vertices(), nv);
+        prop_assert_eq!(g.num_edges(), ne);
+    }
+
+    #[test]
+    fn reorder_preserves_edge_count_and_degrees(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        for perm in [degree_order(&g), cluster_order(&g)] {
+            let h = perm.apply(&g);
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            let mut dg: Vec<usize> = (0..g.num_vertices()).map(|v| g.in_degree(v)).collect();
+            let mut dh: Vec<usize> = (0..h.num_vertices()).map(|v| h.in_degree(v)).collect();
+            dg.sort_unstable();
+            dh.sort_unstable();
+            prop_assert_eq!(dg, dh);
+        }
+    }
+
+    #[test]
+    fn permutation_inverse_round_trips(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        let p = cluster_order(&g);
+        let back = p.inverse().apply(&p.apply(&g));
+        prop_assert_eq!(back.to_coo(), g.to_coo());
+    }
+
+    #[test]
+    fn neighbor_groups_partition_edges(coo in coo_strategy(), gs in 1usize..16) {
+        let g = Graph::from_coo(&coo);
+        let groups = neighbor_groups(&g, gs);
+        let total: usize = groups.iter().map(|grp| grp.len).sum();
+        prop_assert_eq!(total, g.num_edges());
+        for grp in &groups {
+            prop_assert!(grp.len <= gs);
+            // Every slot in the group belongs to `dst`'s CSR range.
+            let lo = g.in_ptr()[grp.dst as usize];
+            let hi = g.in_ptr()[grp.dst as usize + 1];
+            prop_assert!(grp.start >= lo && grp.start + grp.len <= hi);
+        }
+    }
+
+    #[test]
+    fn identity_permutation_is_noop(coo in coo_strategy()) {
+        let g = Graph::from_coo(&coo);
+        let h = Permutation::identity(g.num_vertices()).apply(&g);
+        prop_assert_eq!(h.to_coo(), g.to_coo());
+    }
+}

@@ -1,0 +1,173 @@
+//! Warp memory-access patterns and the coalescer.
+//!
+//! A warp instruction on a real GPU issues one address per active lane; the
+//! load/store unit *coalesces* those 32 addresses into the minimal set of
+//! memory transactions (32-byte sectors on Volta/Ampere). The choice of
+//! parallelization strategy changes exactly this pattern — e.g.
+//! *warp-vertex* makes lanes read consecutive feature elements (1–4
+//! transactions), while *thread-vertex* makes each lane read a different
+//! vertex's row (up to 32 transactions) — which is the mechanism behind the
+//! locality column of paper Table 6.
+
+use crate::DeviceConfig;
+
+/// The addresses touched by one warp memory instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// `lanes` active lanes read consecutive 4-byte words from `base`
+    /// (perfectly coalesced, e.g. feature-dimension parallelism).
+    Coalesced {
+        /// Byte address of lane 0.
+        base: u64,
+        /// Number of active lanes (1..=32).
+        lanes: u32,
+    },
+    /// Every active lane reads the same 4-byte word (e.g. an edge weight
+    /// shared by the warp).
+    Broadcast {
+        /// Byte address.
+        addr: u64,
+    },
+    /// Each lane streams `bytes` consecutive bytes from its own base
+    /// address (e.g. thread-per-vertex iterating a feature row; the
+    /// per-feature loop is collapsed into one pattern).
+    PerLaneRows {
+        /// Byte base address per active lane.
+        bases: Vec<u64>,
+        /// Row length in bytes streamed by each lane.
+        bytes: u32,
+    },
+    /// Arbitrary 4-byte access per active lane (fully divergent gather).
+    Scatter {
+        /// Byte address per active lane.
+        addrs: Vec<u64>,
+    },
+}
+
+impl Access {
+    /// Appends the distinct memory-transaction line ids of this access to
+    /// `out`, given the device's line (sector) size. Duplicate lines within
+    /// the warp are merged, as the hardware coalescer does.
+    pub fn lines(&self, device: &DeviceConfig, out: &mut Vec<u64>) {
+        let lb = device.line_bytes as u64;
+        let start = out.len();
+        match self {
+            Access::Coalesced { base, lanes } => {
+                let first = base / lb;
+                let last = (base + (*lanes as u64) * 4 - 1) / lb;
+                out.extend(first..=last);
+            }
+            Access::Broadcast { addr } => out.push(addr / lb),
+            Access::PerLaneRows { bases, bytes } => {
+                for &b in bases {
+                    let first = b / lb;
+                    let last = (b + *bytes as u64 - 1) / lb;
+                    out.extend(first..=last);
+                }
+            }
+            Access::Scatter { addrs } => {
+                for &a in addrs {
+                    out.push(a / lb);
+                }
+            }
+        }
+        // Hardware coalescing: dedup lines within this instruction.
+        let slice = &mut out[start..];
+        slice.sort_unstable();
+        let mut w = start;
+        let mut last: Option<u64> = None;
+        for i in start..out.len() {
+            if last != Some(out[i]) {
+                last = Some(out[i]);
+                out[w] = out[i];
+                w += 1;
+            }
+        }
+        out.truncate(w);
+    }
+
+    /// Number of 4-byte words this access moves (for bandwidth accounting
+    /// of useful data, independent of transaction granularity).
+    pub fn words(&self) -> u64 {
+        match self {
+            Access::Coalesced { lanes, .. } => *lanes as u64,
+            Access::Broadcast { .. } => 1,
+            Access::PerLaneRows { bases, bytes } => bases.len() as u64 * (*bytes as u64).div_ceil(4),
+            Access::Scatter { addrs } => addrs.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(a: &Access) -> Vec<u64> {
+        let d = DeviceConfig::v100(); // 32-byte lines
+        let mut v = Vec::new();
+        a.lines(&d, &mut v);
+        v
+    }
+
+    #[test]
+    fn full_warp_coalesced_needs_four_sectors() {
+        // 32 lanes x 4 bytes = 128 bytes = 4 x 32-byte sectors.
+        let a = Access::Coalesced { base: 0, lanes: 32 };
+        assert_eq!(lines_of(&a), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn misaligned_coalesced_spills_one_extra_sector() {
+        let a = Access::Coalesced { base: 16, lanes: 32 };
+        assert_eq!(lines_of(&a).len(), 5);
+    }
+
+    #[test]
+    fn broadcast_is_one_transaction() {
+        let a = Access::Broadcast { addr: 1000 };
+        assert_eq!(lines_of(&a).len(), 1);
+    }
+
+    #[test]
+    fn scatter_deduplicates_same_line() {
+        let a = Access::Scatter {
+            addrs: vec![0, 4, 8, 64, 68, 128],
+        };
+        // Lines: 0 (x3), 2 (x2), 4 (x1) -> 3 transactions.
+        assert_eq!(lines_of(&a), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn per_lane_rows_counts_rows_times_sectors() {
+        let a = Access::PerLaneRows {
+            bases: vec![0, 1024, 2048],
+            bytes: 64,
+        };
+        // Each row: 64 bytes = 2 sectors; rows do not overlap -> 6 lines.
+        assert_eq!(lines_of(&a).len(), 6);
+    }
+
+    #[test]
+    fn per_lane_rows_with_shared_base_coalesces() {
+        let a = Access::PerLaneRows {
+            bases: vec![0, 0, 0, 0],
+            bytes: 32,
+        };
+        assert_eq!(lines_of(&a), vec![0]);
+    }
+
+    #[test]
+    fn words_counts_useful_data() {
+        assert_eq!(Access::Coalesced { base: 0, lanes: 7 }.words(), 7);
+        assert_eq!(Access::Broadcast { addr: 0 }.words(), 1);
+        assert_eq!(
+            Access::PerLaneRows {
+                bases: vec![0, 64],
+                bytes: 10
+            }
+            .words(),
+            6
+        );
+        assert_eq!(Access::Scatter { addrs: vec![0, 4] }.words(), 2);
+    }
+}

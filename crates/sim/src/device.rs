@@ -1,0 +1,156 @@
+//! GPU device parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a simulated GPU.
+///
+/// Presets are provided for the two GPUs of the paper's evaluation
+/// (Table 8): [`DeviceConfig::v100`] and [`DeviceConfig::a100`]. The
+/// parameters that drive the paper's cross-GPU observations are the SM
+/// count (A100 has more SMs, so it "favors more parallelism", §7.3) and the
+/// L2 capacity (A100's 40 MB vs V100's 6 MB shifts locality trade-offs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Threads per warp.
+    pub warp_size: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp instructions issued per SM per cycle (scheduler count).
+    pub issue_width: f64,
+    /// L1 data cache size per SM, in bytes.
+    pub l1_bytes: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// Device-wide L2 cache size, in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_assoc: usize,
+    /// Memory transaction (sector) size in bytes.
+    pub line_bytes: usize,
+    /// Sustained DRAM bandwidth in GB/s.
+    pub dram_bw_gbs: f64,
+    /// Sustained L2 bandwidth in GB/s.
+    pub l2_bw_gbs: f64,
+    /// L1 hit latency in cycles.
+    pub l1_latency: f64,
+    /// L2 hit latency in cycles.
+    pub l2_latency: f64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: f64,
+    /// Cycles for one serialized same-address atomic update at L2.
+    pub atomic_serial_cycles: f64,
+    /// Kernel launch overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// Register file size per SM (32-bit registers).
+    pub registers_per_sm: usize,
+    /// Memory-level parallelism per warp: outstanding transactions a warp
+    /// can keep in flight, used by the latency-hiding model.
+    pub mlp_per_warp: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA Tesla V100 (Volta, 80 SMs) — paper Table 8.
+    pub fn v100() -> Self {
+        Self {
+            name: "V100".to_owned(),
+            num_sms: 80,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.38,
+            issue_width: 4.0,
+            l1_bytes: 128 * 1024,
+            l1_assoc: 4,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_assoc: 16,
+            line_bytes: 32,
+            dram_bw_gbs: 900.0,
+            l2_bw_gbs: 2_500.0,
+            l1_latency: 28.0,
+            l2_latency: 193.0,
+            dram_latency: 400.0,
+            atomic_serial_cycles: 12.0,
+            launch_overhead_us: 3.0,
+            registers_per_sm: 65_536,
+            mlp_per_warp: 6.0,
+        }
+    }
+
+    /// NVIDIA A100 (Ampere, 108 SMs) — paper Table 8.
+    pub fn a100() -> Self {
+        Self {
+            name: "A100".to_owned(),
+            num_sms: 108,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 32,
+            warp_size: 32,
+            clock_ghz: 1.41,
+            issue_width: 4.0,
+            l1_bytes: 192 * 1024,
+            l1_assoc: 4,
+            l2_bytes: 40 * 1024 * 1024,
+            l2_assoc: 16,
+            line_bytes: 32,
+            dram_bw_gbs: 1_555.0,
+            l2_bw_gbs: 4_000.0,
+            l1_latency: 28.0,
+            l2_latency: 200.0,
+            dram_latency: 390.0,
+            atomic_serial_cycles: 10.0,
+            launch_overhead_us: 3.0,
+            registers_per_sm: 65_536,
+            mlp_per_warp: 6.0,
+        }
+    }
+
+    /// DRAM bandwidth available to one SM, in bytes per cycle.
+    pub fn dram_bytes_per_cycle_per_sm(&self) -> f64 {
+        self.dram_bw_gbs * 1e9 / (self.clock_ghz * 1e9) / self.num_sms as f64
+    }
+
+    /// L2 bandwidth available to one SM, in bytes per cycle.
+    pub fn l2_bytes_per_cycle_per_sm(&self) -> f64 {
+        self.l2_bw_gbs * 1e9 / (self.clock_ghz * 1e9) / self.num_sms as f64
+    }
+
+    /// Converts a cycle count on the critical SM into milliseconds.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_the_paper_says() {
+        let v = DeviceConfig::v100();
+        let a = DeviceConfig::a100();
+        assert!(a.num_sms > v.num_sms, "A100 has more SMs (§7.3)");
+        assert!(a.l2_bytes > v.l2_bytes, "A100 has a larger L2");
+        assert!(a.dram_bw_gbs > v.dram_bw_gbs);
+    }
+
+    #[test]
+    fn bandwidth_per_sm_is_consistent() {
+        let v = DeviceConfig::v100();
+        let total = v.dram_bytes_per_cycle_per_sm() * v.num_sms as f64 * v.clock_ghz * 1e9;
+        assert!((total - v.dram_bw_gbs * 1e9).abs() / (v.dram_bw_gbs * 1e9) < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_ms_round_trip() {
+        let v = DeviceConfig::v100();
+        let cycles = v.clock_ghz * 1e9; // one second worth
+        assert!((v.cycles_to_ms(cycles) - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the GPU simulator.
+
+use proptest::prelude::*;
+
+use ugrapher_sim::{Access, Cache, DeviceConfig, KernelSim, LaunchConfig};
+
+proptest! {
+    #[test]
+    fn cache_hits_plus_misses_equals_accesses(
+        lines in prop::collection::vec(0u64..500, 1..300),
+    ) {
+        let mut c = Cache::new(4096, 32, 4);
+        for &l in &lines {
+            c.access_line(l, 1.0);
+        }
+        prop_assert!((c.hits() + c.misses() - lines.len() as f64).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&c.hit_rate()));
+    }
+
+    #[test]
+    fn repeating_a_trace_only_improves_hit_rate(
+        lines in prop::collection::vec(0u64..64, 1..100),
+    ) {
+        // Working set of <= 64 lines fits in a 128-line cache: the second
+        // pass must hit everywhere.
+        let mut c = Cache::new(128 * 32, 32, 8);
+        for &l in &lines {
+            c.access_line(l, 1.0);
+        }
+        let misses_after_first = c.misses();
+        for &l in &lines {
+            prop_assert!(c.access_line(l, 1.0), "second pass must hit");
+        }
+        prop_assert_eq!(c.misses(), misses_after_first);
+    }
+
+    #[test]
+    fn coalescer_never_exceeds_one_line_per_lane(
+        addrs in prop::collection::vec(0u64..100_000, 1..32),
+    ) {
+        let d = DeviceConfig::v100();
+        let access = Access::Scatter { addrs: addrs.clone() };
+        let mut lines = Vec::new();
+        access.lines(&d, &mut lines);
+        prop_assert!(lines.len() <= addrs.len());
+        prop_assert!(!lines.is_empty());
+        // Lines are deduplicated.
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), lines.len());
+    }
+
+    #[test]
+    fn coalesced_access_uses_minimal_lines(lanes in 1u32..=32, base in 0u64..10_000) {
+        let d = DeviceConfig::v100();
+        let access = Access::Coalesced { base: base * 4, lanes };
+        let mut lines = Vec::new();
+        access.lines(&d, &mut lines);
+        let bytes = lanes as u64 * 4;
+        let max_lines = bytes.div_ceil(32) + 1; // +1 for misalignment
+        prop_assert!(lines.len() as u64 <= max_lines);
+    }
+
+    #[test]
+    fn report_metrics_stay_in_range(
+        blocks in 1u32..60,
+        loads_per_block in 1usize..50,
+        compute in 0.0f64..1000.0,
+    ) {
+        let d = DeviceConfig::v100();
+        let mut sim = KernelSim::new(&d, LaunchConfig::new(blocks as usize, 256));
+        for b in 0..blocks {
+            sim.begin_block(b);
+            for i in 0..loads_per_block {
+                sim.load(Access::Coalesced {
+                    base: (b as u64 * 1000 + i as u64) * 64,
+                    lanes: 32,
+                });
+            }
+            sim.compute(compute);
+            sim.end_block();
+        }
+        let r = sim.finish();
+        prop_assert!(r.time_ms > 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.achieved_occupancy));
+        prop_assert!((0.0..=1.0).contains(&r.theoretical_occupancy));
+        prop_assert!((0.0..=1.0).contains(&r.sm_efficiency));
+        prop_assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+        prop_assert!((0.0..=1.0).contains(&r.l2_hit_rate));
+        prop_assert!(r.dram_bytes >= 0.0);
+    }
+
+    #[test]
+    fn more_work_never_reduces_time(extra in 1usize..20) {
+        let d = DeviceConfig::v100();
+        let run = |n_loads: usize| {
+            let mut sim = KernelSim::new(&d, LaunchConfig::new(d.num_sms, 256));
+            for b in 0..d.num_sms as u32 {
+                sim.begin_block(b);
+                for i in 0..n_loads {
+                    sim.load(Access::Coalesced {
+                        base: (b as u64 * 100_000 + i as u64) * 128,
+                        lanes: 32,
+                    });
+                }
+                sim.end_block();
+            }
+            sim.finish().time_ms
+        };
+        prop_assert!(run(50 + extra) >= run(50) - 1e-12);
+    }
+
+    #[test]
+    fn merge_is_associative_on_time(
+        t1 in 0.1f64..10.0,
+        t2 in 0.1f64..10.0,
+        t3 in 0.1f64..10.0,
+    ) {
+        use ugrapher_sim::SimReport;
+        let mk = |t: f64| SimReport { time_ms: t, kernels: 1, ..SimReport::empty() };
+        let (a, b, c) = (mk(t1), mk(t2), mk(t3));
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        prop_assert!((left.time_ms - right.time_ms).abs() < 1e-9);
+        prop_assert_eq!(left.kernels, right.kernels);
+    }
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The shapes of two operands are incompatible for the requested
+    /// operation (e.g. element-wise add of a `2×3` and a `3×2`).
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right-hand operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The provided backing buffer does not match `rows * cols`.
+    BadBuffer {
+        /// Requested shape.
+        shape: (usize, usize),
+        /// Actual buffer length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::BadBuffer { shape, len } => write!(
+                f,
+                "buffer of length {len} cannot back a {}x{} tensor",
+                shape.0, shape.1
+            ),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "add",
+            lhs: (2, 3),
+            rhs: (3, 2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("add"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("3x2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! # ugrapher-tensor
+//!
+//! Dense 2-D tensor substrate used by the uGrapher reproduction.
+//!
+//! GNN models interleave *graph operators* (the paper's contribution, handled
+//! by `ugrapher-core`) with ordinary dense operations — feature projections
+//! (GEMM), bias addition, activations. This crate provides:
+//!
+//! * [`Tensor2`] — a row-major `f32` matrix with shape-checked element-wise
+//!   and matrix operations,
+//! * [`gemm`] — a straightforward blocked matrix multiply used for functional
+//!   correctness,
+//! * [`GemmCostModel`] — a roofline-style estimate of how long the same GEMM
+//!   would take on a V100 / A100 class GPU, used by the end-to-end benchmarks
+//!   (paper Figs. 13–15) where total inference time = GEMM time + graph-op
+//!   time.
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_tensor::Tensor2;
+//!
+//! # fn main() -> Result<(), ugrapher_tensor::TensorError> {
+//! let x = Tensor2::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+//! let w = Tensor2::eye(3);
+//! let y = x.matmul(&w)?;
+//! assert_eq!(y, x);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cost;
+mod error;
+mod ops;
+mod tensor;
+
+pub use cost::{GemmCostModel, GemmDevice};
+pub use error::TensorError;
+pub use ops::gemm;
+pub use tensor::Tensor2;

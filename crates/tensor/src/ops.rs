@@ -1,0 +1,214 @@
+//! Element-wise and matrix operations on [`Tensor2`].
+
+use crate::{Tensor2, TensorError};
+
+impl Tensor2 {
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with("add", other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with("sub", other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with("mul", other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Adds a row vector (`1 × cols` broadcast) to every row, e.g. a bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias` is not `1 × cols`.
+    pub fn add_bias(&self, bias: &Self) -> Result<Self, TensorError> {
+        if bias.shape() != (1, self.cols()) {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_bias",
+                lhs: self.shape(),
+                rhs: bias.shape(),
+            });
+        }
+        let mut out = self.clone();
+        let b = bias.as_slice();
+        for row in out.as_mut_slice().chunks_exact_mut(b.len()) {
+            for (x, &bv) in row.iter_mut().zip(b) {
+                *x += bv;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix multiplication `self × other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols() == other.rows()`.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        gemm(self, other)
+    }
+
+    fn zip_with(
+        &self,
+        op: &'static str,
+        other: &Self,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self, TensorError> {
+        self.check_same_shape(op, other)?;
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Tensor2::from_vec(self.rows(), self.cols(), data)
+    }
+}
+
+/// Blocked matrix multiplication `a × b`.
+///
+/// Uses an `i-k-j` loop order so the innermost loop streams over contiguous
+/// rows of both `b` and the output, which keeps the functional executor fast
+/// enough for the full-scale benchmark datasets.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless `a.cols() == b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use ugrapher_tensor::{gemm, Tensor2};
+///
+/// # fn main() -> Result<(), ugrapher_tensor::TensorError> {
+/// let a = Tensor2::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0])?;
+/// let b = Tensor2::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0])?;
+/// let c = gemm(&a, &b)?;
+/// assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gemm(a: &Tensor2, b: &Tensor2) -> Result<Tensor2, TensorError> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor2::zeros(m, n);
+    let bd = b.as_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        let orow = out.row_mut(i);
+        for (kk, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: &[f32]) -> Tensor2 {
+        Tensor2::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t(1, 3, &[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = t(1, 2, &[1.0, -2.0]);
+        assert_eq!(a.scale(3.0).as_slice(), &[3.0, -6.0]);
+    }
+
+    #[test]
+    fn add_bias_broadcasts() {
+        let x = Tensor2::zeros(3, 2);
+        let b = t(1, 2, &[1.0, 2.0]);
+        let y = x.add_bias(&b).unwrap();
+        for r in 0..3 {
+            assert_eq!(y.row(r), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn add_bias_rejects_bad_shape() {
+        let x = Tensor2::zeros(3, 2);
+        let b = Tensor2::zeros(1, 3);
+        assert!(x.add_bias(&b).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor2::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(a.matmul(&Tensor2::eye(3)).unwrap(), a);
+        assert_eq!(Tensor2::eye(3).matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = t(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t(3, 1, &[1.0, 1.0, 1.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 1));
+        assert_eq!(c.as_slice(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor2::zeros(2, 3);
+        let b = Tensor2::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_associativity_small() {
+        let a = Tensor2::from_fn(2, 3, |r, c| (r + c) as f32);
+        let b = Tensor2::from_fn(3, 2, |r, c| (r * c + 1) as f32);
+        let c = Tensor2::from_fn(2, 2, |r, c| (r as f32) - (c as f32));
+        let ab_c = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let a_bc = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        assert!(ab_c.approx_eq(&a_bc, 1e-4).unwrap());
+    }
+}

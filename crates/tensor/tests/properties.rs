@@ -1,0 +1,56 @@
+//! Property-based tests for the tensor substrate.
+
+use proptest::prelude::*;
+use ugrapher_tensor::Tensor2;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
+    prop::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |v| Tensor2::from_vec(rows, cols, v).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor_strategy(4, 5), b in tensor_strategy(4, 5)) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in tensor_strategy(3, 3)) {
+        let z = a.sub(&a).unwrap();
+        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn transpose_is_involution(a in tensor_strategy(3, 7)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_left_right(a in tensor_strategy(4, 4)) {
+        let i = Tensor2::eye(4);
+        prop_assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-4).unwrap());
+        prop_assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-4).unwrap());
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in tensor_strategy(3, 4),
+        b in tensor_strategy(4, 2),
+        c in tensor_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-2).unwrap());
+    }
+
+    #[test]
+    fn relu_is_idempotent(a in tensor_strategy(5, 5)) {
+        let r = a.relu();
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn scale_by_one_is_identity(a in tensor_strategy(2, 8)) {
+        prop_assert_eq!(a.scale(1.0), a);
+    }
+}

@@ -1,0 +1,71 @@
+//! Adaptive schedule selection: grid search vs the learned predictor.
+//!
+//! Reproduces the paper's §5.4 workflow at example scale: train a GBDT on
+//! random graphs, then compare its schedule choices against exhaustive grid
+//! search on unseen Table 3 stand-ins (the Fig. 12 validation).
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use std::time::Instant;
+
+use ugrapher::core::abstraction::OpInfo;
+use ugrapher::core::exec::{Fidelity, MeasureOptions};
+use ugrapher::core::tune::{grid_search, Predictor, PredictorConfig};
+use ugrapher::graph::datasets::{by_abbrev, Scale};
+use ugrapher::sim::DeviceConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceConfig::v100();
+
+    // Train on random graphs (the paper uses 128; we use a lighter config
+    // so the example finishes in seconds).
+    let mut config = PredictorConfig::quick(device.clone());
+    config.num_graphs = 16;
+    config.ops = vec![OpInfo::aggregation_sum(), OpInfo::weighted_aggregation_sum()];
+    let t0 = Instant::now();
+    let predictor = Predictor::train(&config);
+    println!("predictor trained in {:.1?}", t0.elapsed());
+
+    // Prediction overhead (§7.4: must be well under 0.2 ms).
+    let probe = by_abbrev("CO").unwrap().build(Scale::Tiny);
+    let stats = probe.degree_stats();
+    let t0 = Instant::now();
+    let n = 1000;
+    for _ in 0..n {
+        let _ = predictor.choose(&stats, &OpInfo::aggregation_sum(), 16)?;
+    }
+    println!(
+        "prediction latency: {:.4} ms per call (paper bound: 0.2 ms)",
+        t0.elapsed().as_secs_f64() * 1e3 / n as f64
+    );
+
+    // Validate against grid search on held-out datasets.
+    let options = MeasureOptions {
+        device,
+        fidelity: Fidelity::Auto,
+    };
+    println!("\n{:<6} {:>12} {:>12} {:>8}", "data", "grid(ms)", "pred(ms)", "gap");
+    for abbrev in ["CO", "PU", "PR", "AR"] {
+        let graph = by_abbrev(abbrev).unwrap().build(Scale::Ratio(0.05));
+        let op = OpInfo::aggregation_sum();
+        let truth = grid_search(&graph, &op, 16, &options)?;
+        let chosen = predictor.choose(&graph.degree_stats(), &op, 16)?;
+        let chosen_time = truth
+            .time_of(&chosen)
+            .expect("predictor chooses within the search space");
+        println!(
+            "{:<6} {:>12.4} {:>12.4} {:>7.2}x  (grid: {}, predictor: {})",
+            abbrev,
+            truth.best_time_ms,
+            chosen_time,
+            chosen_time / truth.best_time_ms,
+            truth.best.label(),
+            chosen.label(),
+        );
+    }
+    Ok(())
+}

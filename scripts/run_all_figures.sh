@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation in sequence,
+# collecting output under results/. Respects UGRAPHER_SCALE / UGRAPHER_QUICK.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+BINS=(
+  tbl02_operator_census
+  tbl03_datasets
+  tbl04_op_registry
+  tbl05_strategy_coverage
+  fig03_dgl_limits
+  tbl06_tradeoffs
+  fig07_strategy_variation
+  fig12_predictor
+  fig13_end_to_end
+  fig01_heatmap
+  fig14_per_model
+  fig15_per_dataset
+  fig16_metrics
+  tbl09_optimal_strategies
+  fig17_basic_vs_optimal
+  fig18_group_tile_sweep
+  fig19_renumbering
+  overhead_predictor
+  ablations
+  calibration
+  tuner_comparison
+)
+
+for bin in "${BINS[@]}"; do
+  echo "=== running $bin ==="
+  if cargo run --release -p ugrapher-bench --bin "$bin" >"results/$bin.txt" 2>&1; then
+    echo "    ok -> results/$bin.txt"
+  else
+    echo "    FAILED -> results/$bin.txt"
+  fi
+done
+echo "all figure binaries done."

@@ -1,0 +1,49 @@
+//! # uGrapher (reproduction)
+//!
+//! A Rust reproduction of *"uGrapher: High-Performance Graph Operator
+//! Computation via Unified Abstraction for Graph Neural Networks"*
+//! (Zhou et al., ASPLOS 2023), built as a workspace of crates that this
+//! umbrella crate re-exports:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `ugrapher-core` | the unified operator abstraction, schedule space, plan generation, executor, tuners, `uGrapher` API |
+//! | [`graph`] | `ugrapher-graph` | CSR/CSC storage, dataset catalog, generators, reordering |
+//! | [`tensor`] | `ugrapher-tensor` | dense tensors, GEMM, GEMM cost model |
+//! | [`sim`] | `ugrapher-sim` | the GPU execution simulator (V100/A100) |
+//! | [`gbdt`] | `ugrapher-gbdt` | gradient-boosted trees (the LightGBM substitute) |
+//! | [`gnn`] | `ugrapher-gnn` | GCN/GIN/GAT/GraphSage inference pipelines |
+//! | [`baselines`] | `ugrapher-baselines` | DGL-, PyG- and GNNAdvisor-style backends |
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
+//! and substitution arguments, and `EXPERIMENTS.md` for the paper-vs-
+//! measured record of every table and figure.
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher::core::abstraction::OpInfo;
+//! use ugrapher::core::api::{uGrapher, GraphTensor, OpArgs};
+//! use ugrapher::graph::generate::ring;
+//! use ugrapher::tensor::Tensor2;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = ring(32);
+//! let x = Tensor2::full(32, 8, 1.0);
+//! let result = uGrapher(
+//!     &GraphTensor::new(&graph),
+//!     &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+//!     None,
+//! )?;
+//! assert_eq!(result.output[(0, 0)], 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ugrapher_baselines as baselines;
+pub use ugrapher_core as core;
+pub use ugrapher_gbdt as gbdt;
+pub use ugrapher_gnn as gnn;
+pub use ugrapher_graph as graph;
+pub use ugrapher_sim as sim;
+pub use ugrapher_tensor as tensor;

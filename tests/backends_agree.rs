@@ -1,0 +1,105 @@
+//! All four systems must be *functionally* interchangeable: the paper's
+//! comparison is fair only because every framework computes the same model
+//! — they differ solely in kernel strategy. These tests run full models
+//! across backends and require matching logits.
+
+use ugrapher::baselines::{DglBackend, GnnAdvisorBackend, PygBackend};
+use ugrapher::gnn::{run_inference, GraphOpBackend, ModelConfig, ModelKind, UGrapherBackend};
+use ugrapher::graph::datasets::{by_abbrev, Scale};
+use ugrapher::graph::Graph;
+use ugrapher::sim::DeviceConfig;
+use ugrapher::tensor::Tensor2;
+
+fn setup(abbrev: &str, feat: usize) -> (Graph, Tensor2) {
+    let graph = by_abbrev(abbrev).unwrap().build(Scale::Tiny);
+    let x = Tensor2::from_fn(graph.num_vertices(), feat, |r, c| {
+        ((r * 5 + c * 3) % 11) as f32 * 0.07
+    });
+    (graph, x)
+}
+
+#[test]
+fn gcn_and_gin_agree_across_all_four_systems() {
+    let (graph, x) = setup("CO", 16);
+    let device = DeviceConfig::v100();
+    let dgl = DglBackend::new(device.clone());
+    let pyg = PygBackend::new(device.clone());
+    let advisor = GnnAdvisorBackend::new(device.clone());
+    let ugrapher = UGrapherBackend::quick(device);
+    let backends: [&dyn GraphOpBackend; 4] = [&dgl, &pyg, &advisor, &ugrapher];
+
+    for kind in [ModelKind::Gcn, ModelKind::Gin] {
+        let model = ModelConfig::paper_default(kind);
+        let mut reference: Option<Tensor2> = None;
+        for backend in backends {
+            let res = run_inference(&model, &graph, &x, 4, backend)
+                .unwrap_or_else(|e| panic!("{} on {kind:?}: {e}", backend.name()));
+            match &reference {
+                Some(r) => assert!(
+                    res.output.approx_eq(r, 1e-3).unwrap(),
+                    "{} diverged on {kind:?}",
+                    backend.name()
+                ),
+                None => reference = Some(res.output),
+            }
+        }
+    }
+}
+
+#[test]
+fn remaining_models_agree_across_dgl_pyg_ugrapher() {
+    let (graph, x) = setup("CI", 12);
+    let device = DeviceConfig::v100();
+    let dgl = DglBackend::new(device.clone());
+    let pyg = PygBackend::new(device.clone());
+    let ugrapher = UGrapherBackend::quick(device);
+    let backends: [&dyn GraphOpBackend; 3] = [&dgl, &pyg, &ugrapher];
+
+    for kind in [
+        ModelKind::Gat,
+        ModelKind::SageSum,
+        ModelKind::SageMax,
+        ModelKind::SageMean,
+    ] {
+        let model = ModelConfig::paper_default(kind);
+        let mut reference: Option<Tensor2> = None;
+        for backend in backends {
+            let res = run_inference(&model, &graph, &x, 3, backend)
+                .unwrap_or_else(|e| panic!("{} on {kind:?}: {e}", backend.name()));
+            match &reference {
+                Some(r) => assert!(
+                    res.output.approx_eq(r, 1e-2).unwrap(),
+                    "{} diverged on {kind:?}",
+                    backend.name()
+                ),
+                None => reference = Some(res.output),
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_report_distinct_costs_but_same_results() {
+    // The whole point: same math, different kernels, different time.
+    let (graph, x) = setup("PU", 32);
+    let device = DeviceConfig::v100();
+    let model = ModelConfig::paper_default(ModelKind::Gcn);
+    let dgl = run_inference(&model, &graph, &x, 3, &DglBackend::new(device.clone())).unwrap();
+    let pyg = run_inference(&model, &graph, &x, 3, &PygBackend::new(device)).unwrap();
+    assert!(dgl.output.approx_eq(&pyg.output, 1e-3).unwrap());
+    assert_ne!(dgl.graph_ms(), pyg.graph_ms());
+    // PyG's gather-scatter launches more kernels per operator.
+    let dgl_kernels: usize = dgl.graph_ops.iter().map(|(_, r)| r.kernels).sum();
+    let pyg_kernels: usize = pyg.graph_ops.iter().map(|(_, r)| r.kernels).sum();
+    assert!(pyg_kernels > dgl_kernels);
+}
+
+#[test]
+fn a100_runs_the_same_models() {
+    let (graph, x) = setup("PR", 16);
+    let device = DeviceConfig::a100();
+    let model = ModelConfig::paper_default(ModelKind::SageMean);
+    let res = run_inference(&model, &graph, &x, 2, &DglBackend::new(device)).unwrap();
+    assert_eq!(res.output.cols(), 2);
+    assert!(res.total_ms() > 0.0);
+}

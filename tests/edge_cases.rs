@@ -1,0 +1,112 @@
+//! Edge-case integration tests: degenerate graphs through the whole stack.
+
+use ugrapher::baselines::{DglBackend, PygBackend};
+use ugrapher::core::abstraction::OpInfo;
+use ugrapher::core::api::{uGrapher, GraphTensor, OpArgs};
+use ugrapher::core::schedule::{ParallelInfo, Strategy};
+use ugrapher::gnn::{run_inference, ModelConfig, ModelKind, UGrapherBackend};
+use ugrapher::graph::Graph;
+use ugrapher::sim::DeviceConfig;
+use ugrapher::tensor::Tensor2;
+
+fn models() -> [ModelKind; 6] {
+    ModelKind::ALL
+}
+
+#[test]
+fn edgeless_graph_runs_every_model() {
+    let g = Graph::from_edges(20, vec![], vec![]).unwrap();
+    let x = Tensor2::full(20, 8, 1.0);
+    let backend = UGrapherBackend::quick(DeviceConfig::v100());
+    for kind in models() {
+        let res = run_inference(&ModelConfig::paper_default(kind), &g, &x, 3, &backend)
+            .unwrap_or_else(|e| panic!("{kind:?} on edgeless graph: {e}"));
+        assert!(
+            res.output.as_slice().iter().all(|v| v.is_finite()),
+            "{kind:?} produced non-finite output on an edgeless graph"
+        );
+    }
+}
+
+#[test]
+fn single_vertex_self_loop() {
+    let g = Graph::from_edges(1, vec![0], vec![0]).unwrap();
+    let x = Tensor2::full(1, 4, 2.0);
+    let out = uGrapher(
+        &GraphTensor::new(&g),
+        &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+        Some(ParallelInfo::basic(Strategy::WarpEdge)),
+    )
+    .unwrap();
+    assert_eq!(out.output.row(0), &[2.0, 2.0, 2.0, 2.0]);
+}
+
+#[test]
+fn hub_graph_all_strategies_agree() {
+    // A 5000-edge star stresses the atomic-conflict path.
+    let n = 5001;
+    let src: Vec<u32> = (1..n as u32).collect();
+    let dst = vec![0u32; n - 1];
+    let g = Graph::from_edges(n, src, dst).unwrap();
+    let x = Tensor2::from_fn(n, 4, |r, c| ((r + c) % 3) as f32);
+    let gt = GraphTensor::new(&g);
+    let args = OpArgs::fused(OpInfo::aggregation_sum(), &x);
+    let mut reference = None;
+    for p in ParallelInfo::basics() {
+        let out = uGrapher(&gt, &args, Some(p)).unwrap();
+        if p.strategy.is_edge_parallel() {
+            assert!(out.report.max_atomic_conflict > 0.0, "{p}: hub must conflict");
+        }
+        match &reference {
+            Some(r) => assert_eq!(&out.output, r, "{p} diverged on star graph"),
+            None => reference = Some(out.output),
+        }
+    }
+}
+
+#[test]
+fn feature_dim_one_everywhere() {
+    let g = ugrapher::graph::generate::uniform_random(64, 256, 10);
+    let x = Tensor2::full(64, 1, 3.0);
+    for p in ParallelInfo::basics() {
+        let out = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_mean(), &x),
+            Some(p),
+        )
+        .unwrap();
+        for v in 0..64 {
+            let expect = if g.in_degree(v) == 0 { 0.0 } else { 3.0 };
+            assert_eq!(out.output[(v, 0)], expect, "{p}");
+        }
+    }
+}
+
+#[test]
+fn extreme_knobs_on_tiny_graph() {
+    // Grouping/tiling far larger than the graph must degrade gracefully.
+    let g = Graph::from_edges(3, vec![0, 1], vec![2, 2]).unwrap();
+    let x = Tensor2::full(3, 2, 1.0);
+    for s in Strategy::ALL {
+        let out = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+            Some(ParallelInfo::new(s, 64, 64)),
+        )
+        .unwrap();
+        assert_eq!(out.output[(2, 0)], 2.0, "{s}");
+    }
+}
+
+#[test]
+fn multigraph_counts_parallel_edges() {
+    // Three copies of the same edge triple the contribution.
+    let g = Graph::from_edges(2, vec![0, 0, 0], vec![1, 1, 1]).unwrap();
+    let x = Tensor2::full(2, 2, 1.5);
+    let backend_dgl = DglBackend::new(DeviceConfig::v100());
+    let backend_pyg = PygBackend::new(DeviceConfig::v100());
+    let model = ModelConfig::paper_default(ModelKind::SageSum);
+    let a = run_inference(&model, &g, &x, 2, &backend_dgl).unwrap();
+    let b = run_inference(&model, &g, &x, 2, &backend_pyg).unwrap();
+    assert!(a.output.approx_eq(&b.output, 1e-4).unwrap());
+}

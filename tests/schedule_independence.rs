@@ -1,0 +1,167 @@
+//! The paper's correctness foundation: a graph operator's *result* is
+//! independent of its *schedule* (computation/schedule decoupling, §3/§5).
+//! These property tests drive random operators over random graphs under
+//! every basic strategy plus random grouping/tiling knobs and require
+//! bit-identical outputs.
+
+use proptest::prelude::*;
+
+use ugrapher::core::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
+use ugrapher::core::api::{GraphTensor, OpArgs, Runtime};
+use ugrapher::core::exec::OpOperands;
+use ugrapher::core::schedule::{ParallelInfo, Strategy as Sched};
+use ugrapher::graph::{Coo, Graph};
+use ugrapher::sim::DeviceConfig;
+use ugrapher::tensor::Tensor2;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (3usize..30).prop_flat_map(|nv| {
+        prop::collection::vec((0..nv as u32, 0..nv as u32), 1..80).prop_map(move |edges| {
+            let (src, dst): (Vec<u32>, Vec<u32>) = edges.into_iter().unzip();
+            Graph::from_coo(&Coo::new(nv, src, dst).unwrap())
+        })
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = OpInfo> {
+    let all: Vec<OpInfo> = ugrapher::core::abstraction::registry::all_valid_ops();
+    prop::sample::select(all)
+}
+
+fn knobs() -> impl Strategy<Value = (usize, usize)> {
+    (
+        prop::sample::select(ParallelInfo::KNOB_VALUES.to_vec()),
+        prop::sample::select(ParallelInfo::KNOB_VALUES.to_vec()),
+    )
+}
+
+fn tensor_for(t: TensorType, graph: &Graph, feat: usize, salt: u64) -> Option<Tensor2> {
+    let rows = match t {
+        TensorType::SrcV | TensorType::DstV => graph.num_vertices(),
+        TensorType::Edge => graph.num_edges(),
+        TensorType::Null => return None,
+    };
+    Some(Tensor2::from_fn(rows, feat, |r, c| {
+        // Keep values positive so Div cannot hit 0 denominators.
+        1.0 + ((r as u64 * 31 + c as u64 * 7 + salt) % 13) as f32 * 0.25
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn outputs_identical_across_all_schedules(
+        graph in graph_strategy(),
+        op in op_strategy(),
+        feat in 1usize..20,
+        (grouping, tiling) in knobs(),
+        salt in 0u64..100,
+    ) {
+        let a = tensor_for(op.a, &graph, feat, salt);
+        let b = tensor_for(op.b, &graph, feat, salt ^ 0xABCD);
+        let operands = OpOperands { a: a.as_ref(), b: b.as_ref() };
+        let gt = GraphTensor::new(&graph);
+        let rt = Runtime::new(DeviceConfig::v100());
+        let args = OpArgs { op, operands };
+
+        let mut reference: Option<Tensor2> = None;
+        for strategy in Sched::ALL {
+            let parallel = ParallelInfo::new(strategy, grouping, tiling);
+            let out = rt.run(&gt, &args, Some(parallel)).unwrap().output;
+            match &reference {
+                Some(r) => prop_assert_eq!(&out, r, "{} diverged", parallel.label()),
+                None => reference = Some(out),
+            }
+        }
+    }
+
+    #[test]
+    fn sum_aggregation_is_linear(
+        graph in graph_strategy(),
+        feat in 1usize..8,
+        scale in 1u32..5,
+    ) {
+        // aggregation_sum(k * x) == k * aggregation_sum(x): exercises the
+        // whole stack against an algebraic invariant.
+        let x = tensor_for(TensorType::SrcV, &graph, feat, 1).unwrap();
+        let kx = x.scale(scale as f32);
+        let rt = Runtime::new(DeviceConfig::v100());
+        let gt = GraphTensor::new(&graph);
+        let p = Some(ParallelInfo::basic(Sched::WarpEdge));
+        let base = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p).unwrap();
+        let scaled = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &kx), p).unwrap();
+        prop_assert!(
+            scaled.output.approx_eq(&base.output.scale(scale as f32), 1e-3).unwrap()
+        );
+    }
+
+    #[test]
+    fn max_aggregation_is_idempotent_under_duplication(
+        graph in graph_strategy(),
+        feat in 1usize..6,
+    ) {
+        // Duplicating every edge must not change a max aggregation.
+        let coo = graph.to_coo();
+        let mut src = coo.src().to_vec();
+        let mut dst = coo.dst().to_vec();
+        src.extend_from_slice(coo.src());
+        dst.extend_from_slice(coo.dst());
+        let doubled = Graph::from_edges(graph.num_vertices(), src, dst).unwrap();
+
+        let x = tensor_for(TensorType::SrcV, &graph, feat, 9).unwrap();
+        let rt = Runtime::new(DeviceConfig::v100());
+        let p = Some(ParallelInfo::basic(Sched::ThreadVertex));
+        let a = rt.run(
+            &GraphTensor::new(&graph),
+            &OpArgs::fused(OpInfo::aggregation_max(), &x),
+            p,
+        ).unwrap();
+        let b = rt.run(
+            &GraphTensor::new(&doubled),
+            &OpArgs::fused(OpInfo::aggregation_max(), &x),
+            p,
+        ).unwrap();
+        prop_assert_eq!(a.output, b.output);
+    }
+
+    #[test]
+    fn mean_equals_sum_divided_by_degree(
+        graph in graph_strategy(),
+        feat in 1usize..6,
+    ) {
+        let x = tensor_for(TensorType::SrcV, &graph, feat, 4).unwrap();
+        let rt = Runtime::new(DeviceConfig::v100());
+        let gt = GraphTensor::new(&graph);
+        let p = Some(ParallelInfo::basic(Sched::ThreadEdge));
+        let sum = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p).unwrap().output;
+        let mean = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_mean(), &x), p).unwrap().output;
+        for v in 0..graph.num_vertices() {
+            let deg = graph.in_degree(v);
+            for f in 0..feat {
+                let expect = if deg == 0 { 0.0 } else { sum[(v, f)] / deg as f32 };
+                prop_assert!((mean[(v, f)] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_sub_copy_roundtrip(
+        graph in graph_strategy(),
+        feat in 1usize..6,
+    ) {
+        // (e - m) + m == e where m is any DstV tensor: checks edge-output
+        // binary operators against each other.
+        prop_assume!(graph.num_edges() > 0);
+        let e = tensor_for(TensorType::Edge, &graph, feat, 2).unwrap();
+        let m = tensor_for(TensorType::DstV, &graph, feat, 3).unwrap();
+        let sub = OpInfo::new(EdgeOp::Sub, GatherOp::CopyRhs, TensorType::Edge, TensorType::DstV, TensorType::Edge).unwrap();
+        let add = OpInfo::new(EdgeOp::Add, GatherOp::CopyRhs, TensorType::Edge, TensorType::DstV, TensorType::Edge).unwrap();
+        let rt = Runtime::new(DeviceConfig::v100());
+        let gt = GraphTensor::new(&graph);
+        let p = Some(ParallelInfo::basic(Sched::WarpEdge));
+        let shifted = rt.run(&gt, &OpArgs::binary(sub, &e, &m), p).unwrap().output;
+        let restored = rt.run(&gt, &OpArgs::binary(add, &shifted, &m), p).unwrap().output;
+        prop_assert!(restored.approx_eq(&e, 1e-3).unwrap());
+    }
+}
