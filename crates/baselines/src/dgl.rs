@@ -95,7 +95,12 @@ mod tests {
         let backend = DglBackend::new(DeviceConfig::v100());
         let site = OpSite::new(ModelKind::Gcn, 1, OpSiteKind::Aggregation);
         let (out, report) = backend
-            .run_op(&g, &site, &OpInfo::aggregation_sum(), &OpOperands::single(&x))
+            .run_op(
+                &g,
+                &site,
+                &OpInfo::aggregation_sum(),
+                &OpOperands::single(&x),
+            )
             .unwrap();
         for v in 0..100 {
             assert_eq!(out[(v, 0)], g.in_degree(v) as f32);

@@ -100,14 +100,8 @@ mod tests {
         let g = uniform_random(50, 250, 7);
         let x = Tensor2::full(50, 8, 1.0);
         let b = GnnAdvisorBackend::new(DeviceConfig::v100());
-        let err = run_inference(
-            &ModelConfig::paper_default(ModelKind::Gat),
-            &g,
-            &x,
-            3,
-            &b,
-        )
-        .unwrap_err();
+        let err =
+            run_inference(&ModelConfig::paper_default(ModelKind::Gat), &g, &x, 3, &b).unwrap_err();
         assert!(matches!(err, GnnError::UnsupportedModel { .. }));
     }
 
@@ -125,7 +119,12 @@ mod tests {
         let b = GnnAdvisorBackend::new(DeviceConfig::v100());
         let site = OpSite::new(ModelKind::Gcn, 1, OpSiteKind::Aggregation);
         let (out, rep) = b
-            .run_op(&g, &site, &OpInfo::aggregation_sum(), &OpOperands::single(&x))
+            .run_op(
+                &g,
+                &site,
+                &OpInfo::aggregation_sum(),
+                &OpOperands::single(&x),
+            )
             .unwrap();
         for v in 0..90 {
             assert_eq!(out[(v, 0)], 0.5 * g.in_degree(v) as f32);

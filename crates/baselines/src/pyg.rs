@@ -26,6 +26,20 @@ use ugrapher_gnn::{GraphOpBackend, OpSite};
 
 use crate::util::run_fixed;
 
+/// A required operand, or a typed [`CoreError::BadOperand`] instead of a
+/// panic when the caller omitted it.
+fn required(
+    operand: Option<&Tensor2>,
+    which: char,
+    tensor_type: TensorType,
+) -> Result<&Tensor2, CoreError> {
+    operand.ok_or_else(|| CoreError::BadOperand {
+        operand: which,
+        tensor_type,
+        reason: "operand tensor not supplied".to_owned(),
+    })
+}
+
 /// PyG's gather–scatter strategy (see module docs).
 #[derive(Debug, Clone)]
 pub struct PygBackend {
@@ -136,20 +150,20 @@ impl PygBackend {
         // edge tensors.
         let lhs: Option<Tensor2> = match op.a {
             TensorType::SrcV | TensorType::DstV => {
-                let (t, r) = self.gather(graph, op.a, operands.a.expect("validated"))?;
+                let (t, r) = self.gather(graph, op.a, required(operands.a, 'A', op.a)?)?;
                 reports.push(r);
                 Some(t)
             }
-            TensorType::Edge => Some(operands.a.expect("validated").clone()),
+            TensorType::Edge => Some(required(operands.a, 'A', op.a)?.clone()),
             TensorType::Null => None,
         };
         let rhs: Option<Tensor2> = match op.b {
             TensorType::SrcV | TensorType::DstV => {
-                let (t, r) = self.gather(graph, op.b, operands.b.expect("validated"))?;
+                let (t, r) = self.gather(graph, op.b, required(operands.b, 'B', op.b)?)?;
                 reports.push(r);
                 Some(t)
             }
-            TensorType::Edge => Some(operands.b.expect("validated").clone()),
+            TensorType::Edge => Some(required(operands.b, 'B', op.b)?.clone()),
             TensorType::Null => None,
         };
         match (lhs, rhs) {
@@ -160,7 +174,10 @@ impl PygBackend {
             }
             (Some(l), _) if op.edge_op.uses_a() => Ok(l),
             (_, Some(r_t)) => Ok(r_t),
-            _ => unreachable!("validated operators have at least one operand"),
+            _ => Err(CoreError::InvalidOperator {
+                op: *op,
+                reason: "operator has no usable operand".to_owned(),
+            }),
         }
     }
 }

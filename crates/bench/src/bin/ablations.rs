@@ -118,7 +118,12 @@ fn predictor_feature_ablation(device: DeviceConfig) {
     }
     print_table(
         "Ablation: predictor features — graph+op (Table 7) vs graph-only",
-        &["dataset", "operator", "gap with op features", "gap graph-only"],
+        &[
+            "dataset",
+            "operator",
+            "gap with op features",
+            "gap graph-only",
+        ],
         &rows,
     );
     println!(

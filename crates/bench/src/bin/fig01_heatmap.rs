@@ -6,8 +6,8 @@
 //!
 //! Reuses the cached Fig. 13 sweep.
 
-use ugrapher_bench::sweep::sweep_cached;
 use ugrapher_bench::print_table;
+use ugrapher_bench::sweep::sweep_cached;
 
 fn main() {
     let sweep = sweep_cached();
@@ -52,7 +52,11 @@ fn main() {
         for model in &models {
             let times: Vec<(String, f64)> = systems
                 .iter()
-                .filter_map(|s| sweep.time(device, model, dataset, s).map(|t| (s.clone(), t)))
+                .filter_map(|s| {
+                    sweep
+                        .time(device, model, dataset, s)
+                        .map(|t| (s.clone(), t))
+                })
                 .collect();
             let Some((winner, best)) = times
                 .iter()

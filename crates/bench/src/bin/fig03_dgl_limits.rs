@@ -8,8 +8,8 @@
 //! All runs use the DGL backend's fixed strategy for aggregations
 //! (warp-vertex) at full trace fidelity.
 
-use ugrapher_bench::{print_table, scale};
 use ugrapher_baselines::DglBackend;
+use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::api::Runtime;
 use ugrapher_core::exec::Fidelity;
@@ -52,7 +52,14 @@ fn main() {
     }
     print_table(
         "Fig. 3: DGL kernel limitations (feature 32, V100, fixed warp-vertex kernel)",
-        &["dataset", "group", "operator", "occupancy", "sm_eff", "l2_hit"],
+        &[
+            "dataset",
+            "group",
+            "operator",
+            "occupancy",
+            "sm_eff",
+            "l2_hit",
+        ],
         &rows,
     );
 

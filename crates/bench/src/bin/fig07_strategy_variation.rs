@@ -31,7 +31,9 @@ fn main() {
                 row.push(format!("{:.2}", t / res.best_time_ms));
             }
             row.push(res.best.strategy.label().to_owned());
-            *winners.entry(res.best.strategy.label().to_owned()).or_insert(0) += 1;
+            *winners
+                .entry(res.best.strategy.label().to_owned())
+                .or_insert(0) += 1;
             rows.push(row);
         }
         print_table(

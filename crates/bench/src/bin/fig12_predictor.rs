@@ -7,11 +7,11 @@
 
 use std::time::Instant;
 
-use ugrapher_bench::{eval_datasets, print_table, quick, scale, save_json};
+use ugrapher_bench::{eval_datasets, print_table, quick, save_json, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::{Fidelity, MeasureOptions};
-use ugrapher_core::tune::{grid_search_shaped, Predictor, PredictorConfig};
 use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_core::tune::{grid_search_shaped, Predictor, PredictorConfig};
 use ugrapher_graph::datasets::by_abbrev;
 use ugrapher_sim::DeviceConfig;
 
@@ -88,7 +88,14 @@ fn main() {
     }
     print_table(
         "Fig. 12: grid search vs predictor, GCN layer 1 (V100)",
-        &["dataset", "grid ms", "grid sched", "pred ms", "pred sched", "gap"],
+        &[
+            "dataset",
+            "grid ms",
+            "grid sched",
+            "pred ms",
+            "pred sched",
+            "gap",
+        ],
         &rows,
     );
     let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;

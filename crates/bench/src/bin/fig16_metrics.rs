@@ -3,8 +3,8 @@
 //! dataset. The paper's claim: uGrapher improves all three over the
 //! baselines' fixed kernels.
 
-use ugrapher_bench::{eval_datasets, load, print_table};
 use ugrapher_baselines::{DglBackend, PygBackend};
+use ugrapher_bench::{eval_datasets, load, print_table};
 use ugrapher_gnn::{
     run_inference, GraphOpBackend, ModelConfig, ModelKind, OpSite, OpSiteKind, UGrapherBackend,
 };
@@ -43,7 +43,14 @@ fn main() {
     }
     print_table(
         "Fig. 16: nvprof-style metrics for SageMax layer-2 aggregation (V100)",
-        &["dataset", "system", "sm_util", "l2_hit", "occupancy", "time ms"],
+        &[
+            "dataset",
+            "system",
+            "sm_util",
+            "l2_hit",
+            "occupancy",
+            "time ms",
+        ],
         &rows,
     );
     println!(

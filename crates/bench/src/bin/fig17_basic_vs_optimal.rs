@@ -27,8 +27,8 @@ fn main() {
         let mut rows = Vec::new();
         for abbrev in eval_datasets() {
             let graph = by_abbrev(abbrev).unwrap().build(scale());
-            let full = grid_search_space(&graph, &op, feat, &options, &space)
-                .expect("operator is valid");
+            let full =
+                grid_search_space(&graph, &op, feat, &options, &space).expect("operator is valid");
             let mut row = vec![abbrev.to_owned()];
             for b in &basics {
                 let t = full.time_of(b).expect("basics are inside the space");

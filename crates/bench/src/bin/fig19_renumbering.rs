@@ -39,7 +39,9 @@ fn main() {
             stride += 1;
         }
         let scramble = Permutation::new(
-            (0..n).map(|v| (v as u64 * stride as u64 % n as u64) as u32).collect(),
+            (0..n)
+                .map(|v| (v as u64 * stride as u64 % n as u64) as u32)
+                .collect(),
         )
         .expect("stride is coprime with n");
         let graph = scramble.apply(&graph0);

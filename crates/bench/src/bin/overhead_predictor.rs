@@ -30,7 +30,10 @@ fn main() {
         "schedule prediction: {per_call_ms:.5} ms per call over {} candidate schedules",
         predictor.schedules().len()
     );
-    println!("paper bound: < 0.2 ms per prediction — {}", if per_call_ms < 0.2 { "PASS" } else { "FAIL" });
+    println!(
+        "paper bound: < 0.2 ms per prediction — {}",
+        if per_call_ms < 0.2 { "PASS" } else { "FAIL" }
+    );
 
     // Also report the full-space variant used in deployment.
     let mut full = PredictorConfig::quick(DeviceConfig::v100());

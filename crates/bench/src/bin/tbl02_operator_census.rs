@@ -62,7 +62,10 @@ fn main() {
         .find(|(c, _)| *c == OpCategory::MessageAggregation)
         .map(|(_, n)| *n)
         .unwrap_or(0);
-    assert!(fused > aggregation, "fused aggregation dominates, as in Table 2");
+    assert!(
+        fused > aggregation,
+        "fused aggregation dominates, as in Table 2"
+    );
     assert!(ops
         .iter()
         .all(|o| o.c == TensorType::Edge || o.c == TensorType::DstV));

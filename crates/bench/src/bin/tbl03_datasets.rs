@@ -27,8 +27,16 @@ fn main() {
     print_table(
         "Table 3: dataset catalog (paper targets | generated at scale)",
         &[
-            "dataset", "abbr", "#V(paper)", "#E(paper)", "std(paper)", "#feat", "#class",
-            "#V(gen)", "#E(gen)", "std(gen)",
+            "dataset",
+            "abbr",
+            "#V(paper)",
+            "#E(paper)",
+            "std(paper)",
+            "#feat",
+            "#class",
+            "#V(gen)",
+            "#E(gen)",
+            "std(gen)",
         ],
         &rows,
     );

@@ -36,7 +36,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for ((cat, edge, gather), combos) in &groups {
-        let cat_name = ["Message Creation", "Message Aggregation", "Fused Aggregation"][*cat];
+        let cat_name = [
+            "Message Creation",
+            "Message Aggregation",
+            "Fused Aggregation",
+        ][*cat];
         let mut unique: Vec<String> = combos.clone();
         unique.sort();
         unique.dedup();
@@ -50,7 +54,13 @@ fn main() {
     }
     print_table(
         "Table 4: complete graph-operator representation of uGrapher",
-        &["category", "edge_op", "gather_op", "A,B,C combinations", "ops"],
+        &[
+            "category",
+            "edge_op",
+            "gather_op",
+            "A,B,C combinations",
+            "ops",
+        ],
         &rows,
     );
     println!("\ntotal valid operators: {}", ops.len());

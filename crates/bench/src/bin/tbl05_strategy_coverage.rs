@@ -69,7 +69,11 @@ fn main() {
         )
     })
     .collect();
-    println!("\noperators expressible from op_info alone: {} ({})", ops.len(), census.join(", "));
+    println!(
+        "\noperators expressible from op_info alone: {} ({})",
+        ops.len(),
+        census.join(", ")
+    );
     println!(
         "paper Table 1: GNNAdvisor/GE-SpMM need handwritten CUDA per new operator,\n\
          FeatGraph a new TVM template; uGrapher needs only the operator info."

@@ -36,12 +36,27 @@ fn main() {
     let feat = 32;
 
     let schedules: Vec<(String, ParallelInfo)> = vec![
-        ("Thread-Edge".into(), ParallelInfo::basic(Strategy::ThreadEdge)),
+        (
+            "Thread-Edge".into(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+        ),
         ("Warp-Edge".into(), ParallelInfo::basic(Strategy::WarpEdge)),
-        ("Warp-Vertex".into(), ParallelInfo::basic(Strategy::WarpVertex)),
-        ("Thread-Vertex".into(), ParallelInfo::basic(Strategy::ThreadVertex)),
-        ("V/E-Grouping (TE,G8)".into(), ParallelInfo::new(Strategy::ThreadEdge, 8, 1)),
-        ("Feature-Tiling (TE,T8)".into(), ParallelInfo::new(Strategy::ThreadEdge, 1, 8)),
+        (
+            "Warp-Vertex".into(),
+            ParallelInfo::basic(Strategy::WarpVertex),
+        ),
+        (
+            "Thread-Vertex".into(),
+            ParallelInfo::basic(Strategy::ThreadVertex),
+        ),
+        (
+            "V/E-Grouping (TE,G8)".into(),
+            ParallelInfo::new(Strategy::ThreadEdge, 8, 1),
+        ),
+        (
+            "Feature-Tiling (TE,T8)".into(),
+            ParallelInfo::new(Strategy::ThreadEdge, 1, 8),
+        ),
     ];
 
     let base = rt
@@ -63,7 +78,9 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, p) in &schedules {
-        let r = rt.measure_only(&graph, &op, feat, *p).expect("valid schedule");
+        let r = rt
+            .measure_only(&graph, &op, feat, *p)
+            .expect("valid schedule");
         let work = work_per_edge(&r, edges);
         let hit = on_chip_hit(&r);
         rows.push(vec![

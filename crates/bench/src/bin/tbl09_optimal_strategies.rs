@@ -18,13 +18,38 @@ use ugrapher_sim::DeviceConfig;
 /// (label, operator, feature dim, (a_scalar, b_scalar)).
 fn named_ops(input_feat: usize) -> Vec<(&'static str, OpInfo, usize, (bool, bool))> {
     vec![
-        ("GAT_L1_MsgC", OpInfo::message_creation_add(), 8, (false, false)),
-        ("GAT_L1_Aggr", OpInfo::weighted_aggregation_sum(), 8, (false, true)),
-        ("GIN_L1_Aggr", OpInfo::aggregation_sum(), input_feat, (false, false)),
+        (
+            "GAT_L1_MsgC",
+            OpInfo::message_creation_add(),
+            8,
+            (false, false),
+        ),
+        (
+            "GAT_L1_Aggr",
+            OpInfo::weighted_aggregation_sum(),
+            8,
+            (false, true),
+        ),
+        (
+            "GIN_L1_Aggr",
+            OpInfo::aggregation_sum(),
+            input_feat,
+            (false, false),
+        ),
         ("GIN_L2_Aggr", OpInfo::aggregation_sum(), 64, (false, false)),
         ("GIN_L5_Aggr", OpInfo::aggregation_sum(), 64, (false, false)),
-        ("SageMax_L1_Aggr", OpInfo::aggregation_max(), input_feat, (false, false)),
-        ("SageMax_L2_Aggr", OpInfo::aggregation_max(), 16, (false, false)),
+        (
+            "SageMax_L1_Aggr",
+            OpInfo::aggregation_max(),
+            input_feat,
+            (false, false),
+        ),
+        (
+            "SageMax_L2_Aggr",
+            OpInfo::aggregation_max(),
+            16,
+            (false, false),
+        ),
     ]
 }
 
@@ -56,7 +81,10 @@ fn main() {
         let labels: Vec<&str> = named_ops(64).iter().map(|(l, _, _, _)| *l).collect();
         let headers: Vec<&str> = std::iter::once("dataset").chain(labels).collect();
         print_table(
-            &format!("Table 9: optimal schedules per operator and dataset ({})", device.name),
+            &format!(
+                "Table 9: optimal schedules per operator and dataset ({})",
+                device.name
+            ),
             &headers,
             &rows,
         );

@@ -25,8 +25,7 @@ fn main() {
     for abbrev in eval_datasets() {
         let graph = by_abbrev(abbrev).unwrap().build(scale());
         let t0 = Instant::now();
-        let grid =
-            grid_search_space(&graph, &op, feat, &options, &ParallelInfo::space()).unwrap();
+        let grid = grid_search_space(&graph, &op, feat, &options, &ParallelInfo::space()).unwrap();
         let grid_cost = t0.elapsed();
         let t0 = Instant::now();
         let rand24 = random_search(&graph, &op, feat, (false, false), &options, 24, 7).unwrap();

@@ -16,8 +16,7 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-use serde::de::DeserializeOwned;
-use serde::Serialize;
+use ugrapher_util::json::{FromJson, ToJson};
 
 use ugrapher_baselines::{DglBackend, GnnAdvisorBackend, PygBackend};
 use ugrapher_gnn::{run_inference, GraphOpBackend, ModelConfig, ModelKind, UGrapherBackend};
@@ -39,7 +38,9 @@ pub fn scale() -> Scale {
 
 /// Whether `UGRAPHER_QUICK=1` smoke mode is on.
 pub fn quick() -> bool {
-    std::env::var("UGRAPHER_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UGRAPHER_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The evaluation dataset abbreviations (paper Table 9 uses nine; quick
@@ -77,7 +78,9 @@ pub fn backends(device: &DeviceConfig) -> Vec<Box<dyn GraphOpBackend>> {
 
 /// Runs one (model, dataset, backend) cell of the Fig. 13 sweep, returning
 /// total inference time in ms, or `None` if the backend does not support
-/// the model (GNNAdvisor beyond GCN/GIN — the paper's missing bars).
+/// the model (GNNAdvisor beyond GCN/GIN — the paper's missing bars) or the
+/// run failed. A failure is reported on stderr and rendered as a missing
+/// bar instead of aborting the whole sweep.
 pub fn end_to_end_ms(
     kind: ModelKind,
     graph: &Graph,
@@ -89,9 +92,13 @@ pub fn end_to_end_ms(
         return None;
     }
     let model = ModelConfig::paper_default(kind);
-    let res = run_inference(&model, graph, x, num_classes, backend)
-        .unwrap_or_else(|e| panic!("{} on {kind:?} failed: {e}", backend.name()));
-    Some(res.total_ms())
+    match run_inference(&model, graph, x, num_classes, backend) {
+        Ok(res) => Some(res.total_ms()),
+        Err(e) => {
+            eprintln!("[skipped] {} on {kind:?} failed: {e}", backend.name());
+            None
+        }
+    }
 }
 
 /// Geometric mean of positive values; 0 for an empty slice.
@@ -116,7 +123,11 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:>w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:>w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         println!("{}", out.trim_end());
     };
@@ -137,19 +148,20 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Saves a serializable result under `results/<name>.json`.
-pub fn save_json<T: Serialize>(name: &str, value: &T) {
+pub fn save_json<T: ToJson>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("can create results file");
-    let json = serde_json::to_string_pretty(value).expect("serializable");
-    f.write_all(json.as_bytes()).expect("can write results file");
+    let json = ugrapher_util::json::to_string(value);
+    f.write_all(json.as_bytes())
+        .expect("can write results file");
     println!("[saved {}]", path.display());
 }
 
 /// Loads a previously saved result, if present and parseable.
-pub fn load_json<T: DeserializeOwned>(name: &str) -> Option<T> {
+pub fn load_json<T: FromJson>(name: &str) -> Option<T> {
     let path = results_dir().join(format!("{name}.json"));
     let data = std::fs::read_to_string(path).ok()?;
-    serde_json::from_str(&data).ok()
+    ugrapher_util::json::from_str(&data).ok()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The shared end-to-end sweep behind Figs. 1, 13, 14, 15 and 19: every
 //! (device, model, dataset, system) cell's inference time.
 
-use serde::{Deserialize, Serialize};
+use ugrapher_util::json::{FromJson, JsonError, ToJson, Value};
 
 use ugrapher_gnn::ModelKind;
 use ugrapher_graph::datasets::by_abbrev;
@@ -10,7 +10,7 @@ use ugrapher_sim::DeviceConfig;
 use crate::{backends, end_to_end_ms, load};
 
 /// One measured cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepCell {
     /// Device name ("V100" / "A100").
     pub device: String,
@@ -27,7 +27,7 @@ pub struct SweepCell {
 
 /// The full sweep result, persisted as `results/sweep.json` so the figure
 /// binaries that aggregate it (Figs. 1, 14, 15) don't re-measure.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepResult {
     /// All measured cells.
     pub cells: Vec<SweepCell>,
@@ -75,12 +75,46 @@ impl SweepResult {
     }
 }
 
+impl ToJson for SweepCell {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("device", self.device.to_json()),
+            ("model", self.model.to_json()),
+            ("dataset", self.dataset.to_json()),
+            ("system", self.system.to_json()),
+            ("time_ms", self.time_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SweepCell {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SweepCell {
+            device: String::from_json(v.field("device")?)?,
+            model: String::from_json(v.field("model")?)?,
+            dataset: String::from_json(v.field("dataset")?)?,
+            system: String::from_json(v.field("system")?)?,
+            time_ms: Option::<f64>::from_json(v.field("time_ms")?)?,
+        })
+    }
+}
+
+impl ToJson for SweepResult {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![("cells", self.cells.to_json())])
+    }
+}
+
+impl FromJson for SweepResult {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        Ok(SweepResult {
+            cells: Vec::<SweepCell>::from_json(v.field("cells")?)?,
+        })
+    }
+}
+
 /// Runs the sweep over the given devices, models and datasets.
-pub fn run_sweep(
-    devices: &[DeviceConfig],
-    models: &[ModelKind],
-    datasets: &[&str],
-) -> SweepResult {
+pub fn run_sweep(devices: &[DeviceConfig], models: &[ModelKind], datasets: &[&str]) -> SweepResult {
     let mut cells = Vec::new();
     for device in devices {
         let systems = backends(device);
@@ -116,7 +150,10 @@ pub fn run_sweep(
 pub fn sweep_cached() -> SweepResult {
     if let Some(s) = crate::load_json::<SweepResult>("sweep") {
         if !s.cells.is_empty() {
-            eprintln!("[sweep] using cached results/sweep.json ({} cells)", s.cells.len());
+            eprintln!(
+                "[sweep] using cached results/sweep.json ({} cells)",
+                s.cells.len()
+            );
             return s;
         }
     }
@@ -161,11 +198,7 @@ mod tests {
     #[test]
     fn tiny_sweep_runs() {
         std::env::set_var("UGRAPHER_SCALE", "0.002");
-        let r = run_sweep(
-            &[DeviceConfig::v100()],
-            &[ModelKind::Gcn],
-            &["CO"],
-        );
+        let r = run_sweep(&[DeviceConfig::v100()], &[ModelKind::Gcn], &["CO"]);
         std::env::remove_var("UGRAPHER_SCALE");
         assert_eq!(r.cells.len(), 4);
         // GNNAdvisor supports GCN; all four systems report a time.

@@ -17,12 +17,10 @@
 //! combinations are paper Table 4; [`registry::all_valid_ops`] enumerates
 //! them and [`registry::census`] reproduces the Table 2-style counts.
 
-use serde::{Deserialize, Serialize};
-
 use crate::CoreError;
 
 /// Element-wise edge computation (`edge_op` in paper Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EdgeOp {
     /// Pass operand A through unchanged (no arithmetic; fusable).
     CopyLhs,
@@ -79,7 +77,7 @@ impl EdgeOp {
 }
 
 /// Edge-to-vertex reduction (`gather_op` in paper Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GatherOp {
     /// Keep the existing output element (degenerate; listed by the paper).
     CopyLhs,
@@ -138,7 +136,7 @@ impl GatherOp {
 }
 
 /// The addressing type of an operand tensor (paper Fig. 5, line 3–4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorType {
     /// Vertex embedding tensor addressed by the edge's source vertex.
     SrcV,
@@ -166,7 +164,7 @@ impl TensorType {
 }
 
 /// The three operator categories of paper Table 2 / Table 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpCategory {
     /// Inputs involve vertices (and possibly edges); output is an edge
     /// tensor; no reduction.
@@ -181,7 +179,7 @@ pub enum OpCategory {
 
 /// The complete semantic description of one graph operator
 /// (`op_info` in the paper's API, Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpInfo {
     /// Element-wise edge computation.
     pub edge_op: EdgeOp,

@@ -13,6 +13,22 @@
 //! exactly as the paper describes ("when users do not specify any
 //! parallelization strategy, our interface performs an automatic tuning to
 //! find the optimal strategy").
+//!
+//! # Hardening
+//!
+//! Every public entry point is defensive:
+//!
+//! * inputs are validated up front — graph structure
+//!   ([`ugrapher_graph::Graph::validate`], cached per [`GraphTensor`]),
+//!   operand finiteness ([`Tensor2::validate_finite`]), operator legality
+//!   and explicit schedules — and rejected with a typed [`CoreError`];
+//! * automatic schedule selection degrades gracefully (predictor →
+//!   budgeted grid search → a safe default), recording every fallback in
+//!   the returned [`RobustnessReport`];
+//! * a panic shield converts any library bug that would otherwise abort
+//!   the caller into [`CoreError::Internal`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ugrapher_graph::{DegreeStats, Graph};
 use ugrapher_sim::{DeviceConfig, SimReport};
@@ -21,24 +37,32 @@ use ugrapher_tensor::Tensor2;
 use crate::abstraction::OpInfo;
 use crate::exec::{execute, functional, measure, Fidelity, MeasureOptions, OpOperands};
 use crate::plan::KernelPlan;
-use crate::schedule::ParallelInfo;
-use crate::tune::Predictor;
+use crate::robustness::RobustnessReport;
+use crate::schedule::{ParallelInfo, Strategy};
+use crate::tune::{grid_search_budgeted, Predictor, TuneBudget};
 use crate::CoreError;
 
 /// The graph operand of the uGrapher API, with cached degree statistics
 /// (the predictor's graph features).
+///
+/// Construction also runs [`Graph::validate`] once and caches the result;
+/// [`Runtime::run`] refuses structurally broken graphs instead of indexing
+/// out of bounds deep inside a kernel.
 #[derive(Debug, Clone)]
 pub struct GraphTensor<'a> {
     graph: &'a Graph,
     stats: DegreeStats,
+    validation: Option<String>,
 }
 
 impl<'a> GraphTensor<'a> {
-    /// Wraps a graph, computing its degree statistics once.
+    /// Wraps a graph, computing its degree statistics and structural
+    /// validation verdict once.
     pub fn new(graph: &'a Graph) -> Self {
         Self {
             graph,
             stats: graph.degree_stats(),
+            validation: graph.validate().err().map(|e| e.to_string()),
         }
     }
 
@@ -50,6 +74,11 @@ impl<'a> GraphTensor<'a> {
     /// Cached degree statistics.
     pub fn stats(&self) -> &DegreeStats {
         &self.stats
+    }
+
+    /// The cached [`Graph::validate`] failure, if the graph is broken.
+    pub fn validation_error(&self) -> Option<&str> {
+        self.validation.as_deref()
     }
 }
 
@@ -91,6 +120,10 @@ pub struct UGrapherResult {
     /// The schedule that was executed (chosen automatically if the caller
     /// passed `None`).
     pub schedule: ParallelInfo,
+    /// Fallbacks taken during schedule selection. Empty when the first
+    /// choice (explicit schedule, predictor, or complete grid search)
+    /// succeeded.
+    pub robustness: RobustnessReport,
 }
 
 /// An execution context: target device plus optional trained predictor.
@@ -100,6 +133,7 @@ pub struct Runtime {
     fidelity: Fidelity,
     predictor: Option<Predictor>,
     search_space: Option<Vec<ParallelInfo>>,
+    tune_budget: TuneBudget,
 }
 
 impl Runtime {
@@ -110,6 +144,7 @@ impl Runtime {
             fidelity: Fidelity::Auto,
             predictor: None,
             search_space: None,
+            tune_budget: TuneBudget::unlimited(),
         }
     }
 
@@ -121,7 +156,7 @@ impl Runtime {
     }
 
     /// Installs a trained predictor; auto-tuning then uses it instead of
-    /// grid search.
+    /// grid search (falling back to grid search if it misbehaves).
     pub fn with_predictor(mut self, predictor: Predictor) -> Self {
         self.predictor = Some(predictor);
         self
@@ -133,17 +168,28 @@ impl Runtime {
         self
     }
 
+    /// Caps the cost of grid-search auto-tuning. A search cut short by the
+    /// budget still returns its best-so-far schedule and records a
+    /// downgrade in the [`RobustnessReport`].
+    pub fn with_tune_budget(mut self, budget: TuneBudget) -> Self {
+        self.tune_budget = budget;
+        self
+    }
+
     /// The device this runtime simulates.
     pub fn device(&self) -> &DeviceConfig {
         &self.device
     }
 
     /// Picks a schedule for `(op, graph, feat)`: the predictor if one is
-    /// installed, otherwise sampled grid search.
+    /// installed, otherwise sampled grid search, with graceful fallback
+    /// between stages (fallbacks taken are not reported here; use
+    /// [`Runtime::run`] to observe them).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the operator is invalid.
+    /// Returns [`CoreError`] if the operator is invalid, the device config
+    /// is unusable, or every fallback stage failed.
     pub fn choose_schedule(
         &self,
         graph: &GraphTensor<'_>,
@@ -158,7 +204,8 @@ impl Runtime {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the operator is invalid.
+    /// Returns [`CoreError`] if the operator is invalid, the device config
+    /// is unusable, or every fallback stage failed.
     pub fn choose_schedule_shaped(
         &self,
         graph: &GraphTensor<'_>,
@@ -166,51 +213,127 @@ impl Runtime {
         feat: usize,
         scalars: (bool, bool),
     ) -> Result<ParallelInfo, CoreError> {
+        let mut report = RobustnessReport::new();
+        self.choose_with_fallback(graph, op, feat, scalars, &mut report)
+    }
+
+    /// The schedule-selection fallback chain: predictor → budgeted grid
+    /// search → thread-vertex default. Each downgrade is recorded in
+    /// `report`.
+    ///
+    /// Caller-input errors (invalid operator, unusable device) propagate;
+    /// tuning-stage failures degrade to the next stage instead.
+    fn choose_with_fallback(
+        &self,
+        graph: &GraphTensor<'_>,
+        op: &OpInfo,
+        feat: usize,
+        scalars: (bool, bool),
+        report: &mut RobustnessReport,
+    ) -> Result<ParallelInfo, CoreError> {
+        op.validate()?;
         if let Some(p) = &self.predictor {
-            p.choose(graph.stats(), op, feat)
-        } else {
-            let options = MeasureOptions {
-                device: self.device.clone(),
-                fidelity: Fidelity::Auto,
-            };
-            let space;
-            let candidates: &[ParallelInfo] = match &self.search_space {
-                Some(c) => c,
-                None => {
-                    space = ParallelInfo::space();
-                    &space
+            match p.choose(graph.stats(), op, feat) {
+                Ok(s) => return Ok(s),
+                Err(e @ CoreError::InvalidOperator { .. }) => return Err(e),
+                // A predictor that scores non-finitely or emits an illegal
+                // schedule is a degraded model, not a caller error.
+                Err(e) => report.record("predictor", "grid-search", e.to_string()),
+            }
+        }
+        let options = MeasureOptions {
+            device: self.device.clone(),
+            fidelity: Fidelity::Auto,
+        };
+        let space;
+        let candidates: &[ParallelInfo] = match &self.search_space {
+            Some(c) => c,
+            None => {
+                space = ParallelInfo::space();
+                &space
+            }
+        };
+        match grid_search_budgeted(
+            graph.graph(),
+            op,
+            feat,
+            scalars,
+            &options,
+            candidates,
+            self.tune_budget,
+        ) {
+            Ok(res) => {
+                if res.budget_exhausted {
+                    report.record(
+                        "tune-budget",
+                        "best-so-far schedule",
+                        format!(
+                            "budget stopped the search after {} of {} candidates",
+                            res.evaluated(),
+                            candidates.len()
+                        ),
+                    );
                 }
-            };
-            Ok(crate::tune::grid_search_shaped(
-                graph.graph(),
-                op,
-                feat,
-                scalars,
-                &options,
-                candidates,
-            )?
-            .best)
+                Ok(res.best)
+            }
+            Err(e @ (CoreError::InvalidOperator { .. } | CoreError::DeviceInvalid { .. })) => {
+                Err(e)
+            }
+            Err(e) => {
+                report.record("grid-search", "thread-vertex default", e.to_string());
+                ParallelInfo::basic(Strategy::ThreadVertex).validated()
+            }
         }
     }
 
     /// Executes one graph operator: functional evaluation plus simulated
     /// performance measurement under the chosen schedule.
     ///
+    /// Inputs are fully validated first (graph structure, operand shapes
+    /// and finiteness, operator legality, explicit schedule), and a panic
+    /// shield converts any internal bug into [`CoreError::Internal`]
+    /// instead of aborting the caller.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] on invalid operators or mismatched operands.
+    /// Returns [`CoreError`] on invalid operators, mismatched or
+    /// non-finite operands, broken graphs, illegal explicit schedules, or
+    /// an internal panic.
     pub fn run(
         &self,
         graph: &GraphTensor<'_>,
         args: &OpArgs<'_>,
         parallel: Option<ParallelInfo>,
     ) -> Result<UGrapherResult, CoreError> {
+        catch_unwind(AssertUnwindSafe(|| self.run_inner(graph, args, parallel)))
+            .unwrap_or_else(|payload| Err(CoreError::from_panic(payload)))
+    }
+
+    fn run_inner(
+        &self,
+        graph: &GraphTensor<'_>,
+        args: &OpArgs<'_>,
+        parallel: Option<ParallelInfo>,
+    ) -> Result<UGrapherResult, CoreError> {
+        if let Some(reason) = graph.validation_error() {
+            return Err(CoreError::GraphInvalid {
+                reason: reason.to_owned(),
+            });
+        }
+        for (name, t) in [('A', args.operands.a), ('B', args.operands.b)] {
+            if let Some(t) = t {
+                t.validate_finite().map_err(|e| CoreError::TensorInvalid {
+                    reason: format!("operand {name}: {e}"),
+                })?;
+            }
+        }
         let feat = functional::check_shapes(graph.graph(), &args.op, &args.operands)?;
         let scalar = |t: Option<&Tensor2>| t.is_some_and(|t| t.cols() == 1) && feat > 1;
         let scalars = (scalar(args.operands.a), scalar(args.operands.b));
+        let mut robustness = RobustnessReport::new();
         let schedule = match parallel {
-            Some(p) => p,
-            None => self.choose_schedule_shaped(graph, &args.op, feat, scalars)?,
+            Some(p) => p.validated()?,
+            None => self.choose_with_fallback(graph, &args.op, feat, scalars, &mut robustness)?,
         };
         let plan = KernelPlan::generate(
             args.op,
@@ -233,15 +356,18 @@ impl Runtime {
             output,
             report,
             schedule,
+            robustness,
         })
     }
 
     /// Measures a schedule without producing outputs (used by tuners and
-    /// benchmarks).
+    /// benchmarks). Shielded against internal panics like [`Runtime::run`].
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the operator is invalid or `feat == 0`.
+    /// Returns [`CoreError`] if the graph is structurally invalid, the
+    /// operator or schedule is illegal, `feat == 0`, or an internal panic
+    /// was caught.
     pub fn measure_only(
         &self,
         graph: &Graph,
@@ -249,6 +375,20 @@ impl Runtime {
         feat: usize,
         parallel: ParallelInfo,
     ) -> Result<SimReport, CoreError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.measure_only_inner(graph, op, feat, parallel)
+        }))
+        .unwrap_or_else(|payload| Err(CoreError::from_panic(payload)))
+    }
+
+    fn measure_only_inner(
+        &self,
+        graph: &Graph,
+        op: &OpInfo,
+        feat: usize,
+        parallel: ParallelInfo,
+    ) -> Result<SimReport, CoreError> {
+        graph.validate()?;
         let plan =
             KernelPlan::generate(*op, parallel, graph.num_vertices(), graph.num_edges(), feat)?;
         Ok(measure(
@@ -320,6 +460,7 @@ mod tests {
             .unwrap();
         assert_eq!(res.schedule, ParallelInfo::basic(Strategy::ThreadEdge));
         assert!(res.report.time_ms > 0.0);
+        assert!(!res.robustness.degraded());
         // Every vertex's output is its in-degree (features are all 1).
         for v in 0..100 {
             assert_eq!(res.output[(v, 0)], g.in_degree(v) as f32);
@@ -353,6 +494,7 @@ mod tests {
         )
         .unwrap();
         assert!(ParallelInfo::space().contains(&res.schedule));
+        assert!(!res.robustness.degraded());
     }
 
     #[test]
@@ -426,5 +568,80 @@ mod tests {
             .unwrap();
         assert!(r.time_ms > 0.0);
         assert!(r.atomic_ops > 0.0);
+    }
+
+    #[test]
+    fn nan_operand_is_a_typed_error() {
+        let g = uniform_random(40, 200, 7);
+        let mut x = Tensor2::full(40, 4, 1.0);
+        x[(17, 2)] = f32::NAN;
+        let err = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+            Some(ParallelInfo::basic(Strategy::ThreadVertex)),
+        )
+        .unwrap_err();
+        match err {
+            CoreError::TensorInvalid { reason } => {
+                assert!(reason.contains("operand A"), "{reason}");
+                assert!(reason.contains("(17, 2)"), "{reason}");
+            }
+            other => panic!("expected TensorInvalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn illegal_explicit_schedule_is_rejected() {
+        let g = uniform_random(30, 90, 8);
+        let x = Tensor2::full(30, 4, 1.0);
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadVertex,
+            grouping: 0,
+            tiling: 0,
+        };
+        let err = uGrapher(
+            &GraphTensor::new(&g),
+            &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+            Some(bad),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidSchedule { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn tight_budget_degrades_but_still_runs() {
+        let g = uniform_random(64, 256, 10);
+        let x = Tensor2::full(64, 4, 1.0);
+        let rt = Runtime::new(DeviceConfig::v100()).with_tune_budget(TuneBudget::max_candidates(2));
+        let res = rt
+            .run(
+                &GraphTensor::new(&g),
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                None,
+            )
+            .unwrap();
+        assert!(res.robustness.degraded());
+        assert_eq!(res.robustness.downgrades[0].stage, "tune-budget");
+        // The result is still correct despite the truncated search.
+        for v in 0..64 {
+            assert_eq!(res.output[(v, 0)], g.in_degree(v) as f32);
+        }
+    }
+
+    #[test]
+    fn empty_search_space_falls_back_to_default_schedule() {
+        let g = uniform_random(64, 256, 11);
+        let x = Tensor2::full(64, 4, 1.0);
+        let rt = Runtime::new(DeviceConfig::v100()).with_search_space(Vec::new());
+        let res = rt
+            .run(
+                &GraphTensor::new(&g),
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                None,
+            )
+            .unwrap();
+        assert_eq!(res.schedule, ParallelInfo::basic(Strategy::ThreadVertex));
+        assert!(res.robustness.degraded());
+        assert_eq!(res.robustness.downgrades[0].stage, "grid-search");
     }
 }

@@ -19,7 +19,10 @@ pub struct OpOperands<'a> {
 impl<'a> OpOperands<'a> {
     /// Operands for a unary operator (B is `Null`).
     pub fn single(a: &'a Tensor2) -> Self {
-        Self { a: Some(a), b: None }
+        Self {
+            a: Some(a),
+            b: None,
+        }
     }
 
     /// Operands for a binary operator.
@@ -176,9 +179,13 @@ pub fn execute(
             };
             let c_row = out.row_mut(c_row_idx);
             for f in 0..feat {
-                // A one-column operand broadcasts its single value.
-                let av = a_row.map_or(0.0, |r| r[f.min(r.len() - 1)]);
-                let bv = b_row.map_or(0.0, |r| r[f.min(r.len() - 1)]);
+                // A one-column operand broadcasts its single value; any
+                // other width was already checked to equal `feat` by
+                // `check_shapes`, so the indexing is strict — no silent
+                // clamping of mismatched rows.
+                let at = |r: &[f32]| if r.len() == 1 { r[0] } else { r[f] };
+                let av = a_row.map_or(0.0, at);
+                let bv = b_row.map_or(0.0, at);
                 let tmp = op.edge_op.apply(av, bv);
                 c_row[f] = op.gather_op.apply(c_row[f], tmp);
             }
@@ -344,6 +351,29 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::BadOperand { operand: 'B', .. }));
+    }
+
+    #[test]
+    fn zero_feature_dim_is_rejected_up_front() {
+        // A 0-column operand must be a typed error, not an indexing panic
+        // (the old clamp `f.min(r.len() - 1)` underflowed on empty rows).
+        let empty = Tensor2::zeros(3, 0);
+        let err = execute(
+            &graph(),
+            &OpInfo::aggregation_sum(),
+            &OpOperands::single(&empty),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FeatureMismatch { found: 0, .. }));
+        // Mixed with a wide partner it is a mismatch, not a broadcast.
+        let wide = Tensor2::zeros(3, 4);
+        let err = execute(
+            &graph(),
+            &OpInfo::message_creation_add(),
+            &OpOperands::pair(&wide, &empty),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::FeatureMismatch { .. }));
     }
 
     #[test]

@@ -837,13 +837,7 @@ impl Tracer<'_> {
                         }
                         if out_is_edge {
                             self.warp_row(
-                                sim,
-                                self.lay.c,
-                                eid as u64,
-                                tile_off,
-                                tile_len,
-                                true,
-                                None,
+                                sim, self.lay.c, eid as u64, tile_off, tile_len, true, None,
                             );
                         }
                     }
@@ -994,7 +988,11 @@ impl Tracer<'_> {
             };
             match atomic {
                 Some(group) => {
-                    let groups: Vec<u64> = if first { group.into_iter().collect() } else { vec![] };
+                    let groups: Vec<u64> = if first {
+                        group.into_iter().collect()
+                    } else {
+                        vec![]
+                    };
                     sim.atomic(access, groups);
                     sim.compute(costs::CYCLES_PER_MEM_ISSUE + costs::CYCLES_ATOMIC_ISSUE);
                 }
@@ -1230,7 +1228,10 @@ mod tests {
 
     #[test]
     fn sampling_resolution_is_coprime_with_sms() {
-        assert_eq!(resolve_sampling(Fidelity::Full, 10_000, 8, 32.0, 80), (1, 1));
+        assert_eq!(
+            resolve_sampling(Fidelity::Full, 10_000, 8, 32.0, 80),
+            (1, 1)
+        );
         let (s, w) = resolve_sampling(Fidelity::Sampled(8), 10_000, 8, 32.0, 80);
         assert_eq!(gcd(s, 80), 1);
         assert_eq!(w, 1);

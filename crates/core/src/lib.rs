@@ -53,6 +53,7 @@ mod costs;
 mod error;
 pub mod exec;
 pub mod plan;
+pub mod robustness;
 pub mod schedule;
 pub mod tune;
 

@@ -13,15 +13,13 @@
 //! grid shape, and the per-thread resource estimate that feeds the
 //! occupancy model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::abstraction::{OpInfo, TensorType};
 use crate::costs;
 use crate::schedule::ParallelInfo;
 use crate::CoreError;
 
 /// A fully scheduled graph-operator kernel, ready to execute or trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelPlan {
     /// The operator semantics.
     pub op: OpInfo,
@@ -64,7 +62,8 @@ impl KernelPlan {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidOperator`] if `op` fails validation, or
+    /// Returns [`CoreError::InvalidOperator`] if `op` fails validation,
+    /// [`CoreError::InvalidSchedule`] if `parallel` has a zero knob, or
     /// [`CoreError::FeatureMismatch`] if `feat == 0`.
     pub fn generate(
         op: OpInfo,
@@ -74,6 +73,7 @@ impl KernelPlan {
         feat: usize,
     ) -> Result<Self, CoreError> {
         op.validate()?;
+        parallel.validate()?;
         if feat == 0 {
             return Err(CoreError::FeatureMismatch {
                 expected: 1,
@@ -290,6 +290,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_knob_schedule_rejected_not_div_by_zero() {
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadEdge,
+            grouping: 0,
+            tiling: 1,
+        };
+        assert!(matches!(
+            KernelPlan::generate(OpInfo::aggregation_sum(), bad, 10, 10, 4),
+            Err(CoreError::InvalidSchedule { .. })
+        ));
+    }
+
+    #[test]
     fn invalid_op_rejected() {
         let bad = OpInfo {
             edge_op: crate::abstraction::EdgeOp::Mul,
@@ -298,13 +311,9 @@ mod tests {
             b: TensorType::Null,
             c: TensorType::DstV,
         };
-        assert!(KernelPlan::generate(
-            bad,
-            ParallelInfo::basic(Strategy::ThreadEdge),
-            10,
-            10,
-            4
-        )
-        .is_err());
+        assert!(
+            KernelPlan::generate(bad, ParallelInfo::basic(Strategy::ThreadEdge), 10, 10, 4)
+                .is_err()
+        );
     }
 }

@@ -1,0 +1,78 @@
+//! Degradation tracking for the hardened execution pipeline.
+//!
+//! Schedule selection has a fallback chain — trained predictor, then
+//! budgeted grid search, then a safe default schedule — and each step may
+//! silently degrade quality but must never abort a run that can still
+//! produce a correct result. A [`RobustnessReport`] makes those downgrades
+//! visible: every fallback taken is recorded as a [`Downgrade`], and
+//! callers that care (benchmark harnesses, CI) can assert on
+//! [`RobustnessReport::degraded`] while interactive users just read the
+//! log.
+
+/// One recorded fallback event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Downgrade {
+    /// The stage that failed (`"predictor"`, `"grid-search"`,
+    /// `"tune-budget"`).
+    pub stage: &'static str,
+    /// What the pipeline used instead.
+    pub fallback: &'static str,
+    /// Why the stage could not be used as-is.
+    pub reason: String,
+}
+
+impl std::fmt::Display for Downgrade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} -> {}: {}", self.stage, self.fallback, self.reason)
+    }
+}
+
+/// The downgrades accumulated while serving one request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustnessReport {
+    /// Fallbacks taken, in the order they occurred.
+    pub downgrades: Vec<Downgrade>,
+}
+
+impl RobustnessReport {
+    /// A report with no recorded downgrades.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fallback was taken.
+    pub fn degraded(&self) -> bool {
+        !self.downgrades.is_empty()
+    }
+
+    /// Records one fallback event.
+    pub fn record(
+        &mut self,
+        stage: &'static str,
+        fallback: &'static str,
+        reason: impl Into<String>,
+    ) {
+        self.downgrades.push(Downgrade {
+            stage,
+            fallback,
+            reason: reason.into(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_tracks_downgrades_in_order() {
+        let mut r = RobustnessReport::new();
+        assert!(!r.degraded());
+        r.record("predictor", "grid-search", "non-finite score");
+        r.record("grid-search", "default schedule", "budget exhausted");
+        assert!(r.degraded());
+        assert_eq!(r.downgrades.len(), 2);
+        assert_eq!(r.downgrades[0].stage, "predictor");
+        assert!(r.downgrades[1].to_string().contains("default schedule"));
+    }
+}

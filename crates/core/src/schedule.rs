@@ -8,10 +8,10 @@
 //! (paper Table 6); [`ParallelInfo::space`] enumerates the search space the
 //! tuner explores.
 
-use serde::{Deserialize, Serialize};
+use ugrapher_util::json::{FromJson, JsonError, ToJson, Value};
 
 /// The four basic parallelization strategies of paper Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// One thread per vertex (group); best locality, least parallelism,
     /// no atomics.
@@ -64,7 +64,7 @@ impl std::fmt::Display for Strategy {
 
 /// A complete schedule: strategy plus fine-grained knobs
 /// (`parallel_info` in the paper's API, Fig. 9).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParallelInfo {
     /// The basic parallelization strategy.
     pub strategy: Strategy,
@@ -100,6 +100,42 @@ impl ParallelInfo {
         }
     }
 
+    /// Checks the schedule is legal: both knobs at least 1.
+    ///
+    /// The fields are public (and a learned predictor or a deserialized
+    /// model may produce arbitrary values), so everything that consumes a
+    /// schedule validates it instead of assuming construction went through
+    /// [`ParallelInfo::new`]. A zero knob would otherwise surface as a
+    /// division by zero inside plan generation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidSchedule`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), crate::CoreError> {
+        if self.grouping == 0 {
+            return Err(crate::CoreError::InvalidSchedule {
+                reason: format!("{}: grouping must be >= 1", self.strategy.label()),
+            });
+        }
+        if self.tiling == 0 {
+            return Err(crate::CoreError::InvalidSchedule {
+                reason: format!("{}: tiling must be >= 1", self.strategy.label()),
+            });
+        }
+        Ok(())
+    }
+
+    /// [`ParallelInfo::validate`], returning the schedule by value for
+    /// chaining.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ParallelInfo::validate`].
+    pub fn validated(self) -> Result<Self, crate::CoreError> {
+        self.validate()?;
+        Ok(self)
+    }
+
     /// The knob values explored by the tuner (powers of two up to 64, as in
     /// paper Table 9 / Fig. 18).
     pub const KNOB_VALUES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -128,13 +164,60 @@ impl ParallelInfo {
 
     /// The paper's Table 9 label, e.g. `"TE_G4_T32"`.
     pub fn label(&self) -> String {
-        format!("{}_G{}_T{}", self.strategy.label(), self.grouping, self.tiling)
+        format!(
+            "{}_G{}_T{}",
+            self.strategy.label(),
+            self.grouping,
+            self.tiling
+        )
     }
 }
 
 impl std::fmt::Display for ParallelInfo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.label())
+    }
+}
+
+impl ToJson for Strategy {
+    fn to_json(&self) -> Value {
+        Value::Str(self.label().to_string())
+    }
+}
+
+impl FromJson for Strategy {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("TV") => Ok(Strategy::ThreadVertex),
+            Some("TE") => Ok(Strategy::ThreadEdge),
+            Some("WV") => Ok(Strategy::WarpVertex),
+            Some("WE") => Ok(Strategy::WarpEdge),
+            other => Err(JsonError::new(format!("unknown strategy label {other:?}"))),
+        }
+    }
+}
+
+impl ToJson for ParallelInfo {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("strategy", self.strategy.to_json()),
+            ("grouping", self.grouping.to_json()),
+            ("tiling", self.tiling.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ParallelInfo {
+    /// Decodes and validates: a persisted schedule with a zero knob is
+    /// rejected at load time rather than at plan time.
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let p = ParallelInfo {
+            strategy: Strategy::from_json(v.field("strategy")?)?,
+            grouping: usize::from_json(v.field("grouping")?)?,
+            tiling: usize::from_json(v.field("tiling")?)?,
+        };
+        p.validate().map_err(|e| JsonError::new(e.to_string()))?;
+        Ok(p)
     }
 }
 
@@ -163,7 +246,10 @@ mod tests {
     fn labels_match_table9_format() {
         let p = ParallelInfo::new(Strategy::ThreadEdge, 4, 32);
         assert_eq!(p.label(), "TE_G4_T32");
-        assert_eq!(ParallelInfo::basic(Strategy::WarpVertex).label(), "WV_G1_T1");
+        assert_eq!(
+            ParallelInfo::basic(Strategy::WarpVertex).label(),
+            "WV_G1_T1"
+        );
     }
 
     #[test]
@@ -178,5 +264,26 @@ mod tests {
     #[should_panic(expected = "grouping must be >= 1")]
     fn zero_grouping_panics() {
         let _ = ParallelInfo::new(Strategy::ThreadEdge, 0, 1);
+    }
+
+    #[test]
+    fn validate_rejects_zero_knobs() {
+        // Public fields make illegal schedules constructible; validate
+        // must catch them.
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadEdge,
+            grouping: 0,
+            tiling: 4,
+        };
+        assert!(bad.validate().is_err());
+        let bad = ParallelInfo {
+            strategy: Strategy::WarpVertex,
+            grouping: 2,
+            tiling: 0,
+        };
+        assert!(bad.validated().is_err());
+        assert!(ParallelInfo::basic(Strategy::ThreadVertex)
+            .validate()
+            .is_ok());
     }
 }

@@ -62,11 +62,31 @@ pub fn feature_vector_masked(
         (stats.std_in_degree + 1.0).ln(),
         (stats.mean_in_degree + 1.0).ln(),
         // Operator info (Table 7); zeroed in the graph-only ablation.
-        if include_op { edge_op_id(op.edge_op) } else { 0.0 },
-        if include_op { gather_op_id(op.gather_op) } else { 0.0 },
-        if include_op { tensor_type_id(op.a) } else { 0.0 },
-        if include_op { tensor_type_id(op.b) } else { 0.0 },
-        if include_op { tensor_type_id(op.c) } else { 0.0 },
+        if include_op {
+            edge_op_id(op.edge_op)
+        } else {
+            0.0
+        },
+        if include_op {
+            gather_op_id(op.gather_op)
+        } else {
+            0.0
+        },
+        if include_op {
+            tensor_type_id(op.a)
+        } else {
+            0.0
+        },
+        if include_op {
+            tensor_type_id(op.b)
+        } else {
+            0.0
+        },
+        if include_op {
+            tensor_type_id(op.c)
+        } else {
+            0.0
+        },
         // Feature dimension (see module docs).
         (feat_dim as f64).ln(),
         // Candidate schedule.

@@ -1,4 +1,8 @@
-//! Exhaustive schedule search.
+//! Exhaustive schedule search, optionally under a tuning budget.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use ugrapher_graph::Graph;
 
@@ -7,6 +11,59 @@ use crate::exec::{measure, MeasureOptions};
 use crate::plan::KernelPlan;
 use crate::schedule::ParallelInfo;
 use crate::CoreError;
+
+/// Limits on how much work a tuning pass may do before returning its
+/// best-so-far (FeatGraph-style budgeted search; needed to keep tuning
+/// usable on a serving path).
+///
+/// The default ([`TuneBudget::unlimited`]) imposes no limit, matching the
+/// paper's offline exhaustive search. Either limit may be set
+/// independently; a search that is cut short still returns the best
+/// schedule among those it measured and flags the result via
+/// [`TuneResult::budget_exhausted`]. Only a budget so tight that *zero*
+/// candidates were measured is an error ([`CoreError::BudgetExceeded`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneBudget {
+    /// Stop starting new measurements once this much wall-clock time has
+    /// elapsed.
+    pub wall_clock: Option<Duration>,
+    /// Measure at most this many candidate schedules.
+    pub max_candidates: Option<usize>,
+}
+
+impl TuneBudget {
+    /// No limits: the search runs to completion.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit the number of candidates measured.
+    pub fn max_candidates(n: usize) -> Self {
+        Self {
+            wall_clock: None,
+            max_candidates: Some(n),
+        }
+    }
+
+    /// Limit the wall-clock time spent measuring.
+    pub fn wall_clock(limit: Duration) -> Self {
+        Self {
+            wall_clock: Some(limit),
+            max_candidates: None,
+        }
+    }
+
+    /// Sets the wall-clock limit on an existing budget.
+    pub fn with_wall_clock(mut self, limit: Duration) -> Self {
+        self.wall_clock = Some(limit);
+        self
+    }
+
+    /// `true` if this budget imposes any limit.
+    pub fn is_limited(&self) -> bool {
+        self.wall_clock.is_some() || self.max_candidates.is_some()
+    }
+}
 
 /// Outcome of a grid search.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,6 +74,10 @@ pub struct TuneResult {
     pub best_time_ms: f64,
     /// Every `(schedule, time_ms)` pair measured, in search order.
     pub all: Vec<(ParallelInfo, f64)>,
+    /// `true` if a [`TuneBudget`] stopped the search before every
+    /// candidate was measured; `best` is then best-so-far, not the proven
+    /// optimum.
+    pub budget_exhausted: bool,
 }
 
 impl TuneResult {
@@ -26,6 +87,11 @@ impl TuneResult {
             .iter()
             .find(|(p, _)| p == schedule)
             .map(|(_, t)| *t)
+    }
+
+    /// Number of candidates actually measured.
+    pub fn evaluated(&self) -> usize {
+        self.all.len()
     }
 }
 
@@ -77,66 +143,151 @@ pub fn grid_search_shaped(
     options: &MeasureOptions,
     candidates: &[ParallelInfo],
 ) -> Result<TuneResult, CoreError> {
+    grid_search_budgeted(
+        graph,
+        op,
+        feat,
+        scalars,
+        options,
+        candidates,
+        TuneBudget::unlimited(),
+    )
+}
+
+/// [`grid_search_shaped`] under a [`TuneBudget`]: the search stops starting
+/// new measurements once the budget is exhausted and returns the best
+/// schedule among those measured so far.
+///
+/// With only `max_candidates` set, the measured prefix is deterministic
+/// (the first N candidates in list order); a wall-clock limit makes the
+/// cut-off point timing-dependent by nature.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid, `feat == 0`,
+/// `candidates` is empty ([`CoreError::TuningFailed`]), the device config
+/// is unusable ([`CoreError::DeviceInvalid`]), or the budget expired before
+/// a single candidate was measured ([`CoreError::BudgetExceeded`]).
+#[allow(clippy::too_many_arguments)]
+pub fn grid_search_budgeted(
+    graph: &Graph,
+    op: &OpInfo,
+    feat: usize,
+    scalars: (bool, bool),
+    options: &MeasureOptions,
+    candidates: &[ParallelInfo],
+    budget: TuneBudget,
+) -> Result<TuneResult, CoreError> {
     if candidates.is_empty() {
-        return Err(CoreError::InvalidOperator {
-            op: *op,
+        return Err(CoreError::TuningFailed {
             reason: "empty candidate schedule list".to_owned(),
         });
     }
-    // Validate once up front so worker threads cannot fail.
+    options.device.validate()?;
+    // Validate the (op, feat) pair once up front so worker threads cannot
+    // fail on it; individual candidates are still validated per-plan.
     KernelPlan::generate(
         *op,
-        candidates[0],
+        candidates[0].validated()?,
         graph.num_vertices(),
         graph.num_edges(),
         feat,
     )?;
 
+    let limit = budget
+        .max_candidates
+        .unwrap_or(candidates.len())
+        .min(candidates.len());
+    let deadline = budget.wall_clock.map(|d| Instant::now() + d);
+
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(candidates.len());
-    let chunk = candidates.len().div_ceil(workers);
-    let mut all: Vec<(ParallelInfo, f64)> = Vec::with_capacity(candidates.len());
+        .min(limit.max(1));
+    // Workers claim candidate indices from a shared counter; a budget trip
+    // sets the stop flag so in-flight measurements finish but no new ones
+    // start.
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let measured: Mutex<Vec<(usize, ParallelInfo, f64)>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
 
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .map(|&p| {
-                            let plan = KernelPlan::generate(
-                                *op,
-                                p,
-                                graph.num_vertices(),
-                                graph.num_edges(),
-                                feat,
-                            )
-                            .expect("validated above")
-                            .with_scalar_operands(scalars.0, scalars.1);
-                            (p, measure(graph, &plan, options).time_ms)
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            all.extend(h.join().expect("tuner worker panicked"));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, ParallelInfo, f64)> = Vec::new();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= limit {
+                        break;
+                    }
+                    let p = candidates[i];
+                    match KernelPlan::generate(
+                        *op,
+                        p,
+                        graph.num_vertices(),
+                        graph.num_edges(),
+                        feat,
+                    ) {
+                        Ok(plan) => {
+                            let plan = plan.with_scalar_operands(scalars.0, scalars.1);
+                            local.push((i, p, measure(graph, &plan, options).time_ms));
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
+                            slot.get_or_insert(e);
+                        }
+                    }
+                }
+                measured
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
         }
-    })
-    .expect("tuner scope panicked");
+    });
+
+    let mut rows = measured.into_inner().unwrap_or_else(|e| e.into_inner());
+    rows.sort_by_key(|(i, _, _)| *i);
+    let budget_exhausted =
+        stop.load(Ordering::Relaxed) || limit < candidates.len() || rows.len() < limit;
+    let all: Vec<(ParallelInfo, f64)> = rows.into_iter().map(|(_, p, t)| (p, t)).collect();
+
+    if all.is_empty() {
+        // Either every candidate was illegal, or the budget expired before
+        // anything ran; report whichever actually happened.
+        if let Some(e) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            return Err(CoreError::TuningFailed {
+                reason: format!("no legal candidate schedule: {e}"),
+            });
+        }
+        return Err(CoreError::BudgetExceeded {
+            reason: format!(
+                "budget {budget:?} expired before any of {} candidates was measured",
+                candidates.len()
+            ),
+        });
+    }
 
     let (best, best_time_ms) = all
         .iter()
         .cloned()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("times are finite"))
-        .expect("candidates is non-empty");
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("all is non-empty");
     Ok(TuneResult {
         best,
         best_time_ms,
         all,
+        budget_exhausted,
     })
 }
 
@@ -166,6 +317,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(res.all.len(), 4);
+        assert!(!res.budget_exhausted);
         let min = res
             .all
             .iter()
@@ -180,12 +332,15 @@ mod tests {
         let g = uniform_random(200, 1000, 2);
         let res = grid_search(&g, &OpInfo::aggregation_sum(), 8, &options()).unwrap();
         assert_eq!(res.all.len(), ParallelInfo::space().len());
+        assert!(!res.budget_exhausted);
     }
 
     #[test]
     fn empty_candidates_rejected() {
         let g = uniform_random(50, 200, 3);
-        assert!(grid_search_space(&g, &OpInfo::aggregation_sum(), 8, &options(), &[]).is_err());
+        let err =
+            grid_search_space(&g, &OpInfo::aggregation_sum(), 8, &options(), &[]).unwrap_err();
+        assert!(matches!(err, CoreError::TuningFailed { .. }));
     }
 
     #[test]
@@ -208,5 +363,84 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn candidate_budget_measures_exact_prefix() {
+        let g = uniform_random(200, 1000, 5);
+        let space = ParallelInfo::space();
+        let res = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &space,
+            TuneBudget::max_candidates(10),
+        )
+        .unwrap();
+        assert_eq!(res.evaluated(), 10);
+        assert!(res.budget_exhausted);
+        // The measured prefix is deterministic: the first 10 candidates.
+        let measured: Vec<ParallelInfo> = res.all.iter().map(|(p, _)| *p).collect();
+        assert_eq!(measured, space[..10].to_vec());
+    }
+
+    #[test]
+    fn generous_budget_changes_nothing() {
+        let g = uniform_random(150, 700, 6);
+        let unbudgeted = grid_search_space(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            &options(),
+            &ParallelInfo::basics(),
+        )
+        .unwrap();
+        let budgeted = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &ParallelInfo::basics(),
+            TuneBudget::max_candidates(1000).with_wall_clock(Duration::from_secs(600)),
+        )
+        .unwrap();
+        assert_eq!(budgeted.best, unbudgeted.best);
+        assert_eq!(budgeted.all, unbudgeted.all);
+        assert!(!budgeted.budget_exhausted);
+    }
+
+    #[test]
+    fn zero_candidate_budget_is_budget_exceeded() {
+        let g = uniform_random(100, 500, 7);
+        let err = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &ParallelInfo::basics(),
+            TuneBudget::max_candidates(0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn invalid_device_is_typed_error() {
+        let g = uniform_random(100, 500, 8);
+        let mut opts = options();
+        opts.device.num_sms = 0;
+        let err = grid_search_space(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            &opts,
+            &ParallelInfo::basics(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::DeviceInvalid { .. }));
     }
 }

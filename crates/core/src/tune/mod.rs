@@ -16,6 +16,9 @@ mod grid;
 mod predictor;
 mod random;
 
-pub use grid::{grid_search, grid_search_shaped, grid_search_space, TuneResult};
-pub use random::random_search;
+pub use grid::{
+    grid_search, grid_search_budgeted, grid_search_shaped, grid_search_space, TuneBudget,
+    TuneResult,
+};
 pub use predictor::{Predictor, PredictorConfig};
+pub use random::random_search;

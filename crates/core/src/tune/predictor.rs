@@ -1,7 +1,7 @@
 //! The learned schedule predictor (paper §5.4).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ugrapher_util::json::{FromJson, JsonError, ToJson, Value};
+use ugrapher_util::rng::StdRng;
 
 use ugrapher_gbdt::{Gbdt, GbdtParams, TrainSet};
 use ugrapher_graph::generate::{DegreeModel, GraphSpec};
@@ -100,16 +100,40 @@ impl PredictorConfig {
 /// Serializable: train once, persist with [`Predictor::save`], and load at
 /// deployment — the flow the paper describes (§5.4: prediction runs once
 /// before model inference).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Predictor {
     model: Gbdt,
     schedules: Vec<ParallelInfo>,
-    #[serde(default = "default_true")]
     use_op_features: bool,
 }
 
-fn default_true() -> bool {
-    true
+impl ToJson for Predictor {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("model", self.model.to_json()),
+            ("schedules", self.schedules.to_json()),
+            ("use_op_features", self.use_op_features.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Predictor {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let schedules = Vec::<ParallelInfo>::from_json(v.field("schedules")?)?;
+        if schedules.is_empty() {
+            return Err(JsonError::new("predictor: empty schedule list"));
+        }
+        Ok(Predictor {
+            model: Gbdt::from_json(v.field("model")?)?,
+            schedules,
+            // Older model files predate the ablation flag; default to the
+            // full feature set.
+            use_op_features: match v.get("use_op_features") {
+                Some(flag) => bool::from_json(flag)?,
+                None => true,
+            },
+        })
+    }
 }
 
 impl Predictor {
@@ -173,20 +197,29 @@ impl Predictor {
         feat: usize,
         schedule: &ParallelInfo,
     ) -> f64 {
-        self.model.predict(&crate::tune::features::feature_vector_masked(
-            stats,
-            op,
-            feat,
-            schedule,
-            self.use_op_features,
-        ))
+        self.model
+            .predict(&crate::tune::features::feature_vector_masked(
+                stats,
+                op,
+                feat,
+                schedule,
+                self.use_op_features,
+            ))
     }
 
     /// Picks the schedule with the minimum predicted time.
     ///
+    /// The prediction comes from a learned model that may have been loaded
+    /// from disk, so its output is treated as untrusted: a non-finite
+    /// score, an empty candidate list, or an illegal winning schedule all
+    /// come back as [`CoreError::TuningFailed`] /
+    /// [`CoreError::InvalidSchedule`] instead of a panic, letting the
+    /// runtime fall back to grid search.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] if the operator is invalid.
+    /// Returns [`CoreError`] if the operator is invalid or the model's
+    /// output is unusable.
     pub fn choose(
         &self,
         stats: &DegreeStats,
@@ -194,16 +227,22 @@ impl Predictor {
         feat: usize,
     ) -> Result<ParallelInfo, CoreError> {
         op.validate()?;
-        Ok(self
-            .schedules
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                let ta = self.predict_log_time(stats, op, feat, a);
-                let tb = self.predict_log_time(stats, op, feat, b);
-                ta.partial_cmp(&tb).expect("predictions are finite")
-            })
-            .expect("schedule list is non-empty"))
+        let mut best: Option<(ParallelInfo, f64)> = None;
+        for &s in &self.schedules {
+            let t = self.predict_log_time(stats, op, feat, &s);
+            if !t.is_finite() {
+                return Err(CoreError::TuningFailed {
+                    reason: format!("predictor scored {} as {t}", s.label()),
+                });
+            }
+            if best.is_none_or(|(_, bt)| t < bt) {
+                best = Some((s, t));
+            }
+        }
+        let (s, _) = best.ok_or_else(|| CoreError::TuningFailed {
+            reason: "predictor has no candidate schedules".to_owned(),
+        })?;
+        s.validated()
     }
 
     /// The candidate schedules this predictor ranks.
@@ -217,8 +256,7 @@ impl Predictor {
     ///
     /// Returns an I/O error if the file cannot be written.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).expect("predictor is serializable");
-        std::fs::write(path, json)
+        std::fs::write(path, ugrapher_util::json::to_string(self))
     }
 
     /// Loads a model persisted by [`Predictor::save`].
@@ -228,7 +266,7 @@ impl Predictor {
     /// Returns an I/O error if the file cannot be read or parsed.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         let data = std::fs::read_to_string(path)?;
-        serde_json::from_str(&data)
+        ugrapher_util::json::from_str(&data)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
@@ -268,14 +306,9 @@ fn measure_context(
     targets: &mut Vec<f64>,
 ) {
     for &schedule in &config.schedules {
-        let plan = KernelPlan::generate(
-            *op,
-            schedule,
-            graph.num_vertices(),
-            graph.num_edges(),
-            feat,
-        )
-        .expect("training ops are valid");
+        let plan =
+            KernelPlan::generate(*op, schedule, graph.num_vertices(), graph.num_edges(), feat)
+                .expect("training ops are valid");
         let time = measure(graph, &plan, options).time_ms;
         rows.push(crate::tune::features::feature_vector_masked(
             stats,

@@ -8,8 +8,7 @@
 //! slow — and as a baseline to quantify how much exhaustive search
 //! actually buys.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ugrapher_util::rng::StdRng;
 
 use ugrapher_graph::Graph;
 
@@ -73,9 +72,15 @@ mod tests {
         let g = uniform_random(600, 4200, 31);
         let op = OpInfo::aggregation_sum();
         let rs = random_search(&g, &op, 16, (false, false), &options(), 24, 1).unwrap();
-        let grid =
-            grid_search_shaped(&g, &op, 16, (false, false), &options(), &ParallelInfo::space())
-                .unwrap();
+        let grid = grid_search_shaped(
+            &g,
+            &op,
+            16,
+            (false, false),
+            &options(),
+            &ParallelInfo::space(),
+        )
+        .unwrap();
         let basics = grid_search_shaped(
             &g,
             &op,

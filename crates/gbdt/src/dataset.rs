@@ -1,8 +1,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Errors produced when assembling a training set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GbdtError {
@@ -36,10 +34,7 @@ impl fmt::Display for GbdtError {
                 expected,
                 row,
                 found,
-            } => write!(
-                f,
-                "row {row} has {found} features, expected {expected}"
-            ),
+            } => write!(f, "row {row} has {found} features, expected {expected}"),
             GbdtError::Empty => write!(f, "training set is empty"),
         }
     }
@@ -48,7 +43,7 @@ impl fmt::Display for GbdtError {
 impl Error for GbdtError {}
 
 /// A tabular regression training set.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainSet {
     rows: Vec<Vec<f64>>,
     targets: Vec<f64>,

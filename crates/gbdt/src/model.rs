@@ -1,12 +1,12 @@
 //! The boosting ensemble.
 
-use serde::{Deserialize, Serialize};
+use ugrapher_util::json::{FromJson, JsonError, ToJson, Value};
 
 use crate::dataset::TrainSet;
 use crate::tree::{Tree, TreeParams};
 
 /// Hyper-parameters of the boosting loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GbdtParams {
     /// Number of boosting rounds (trees).
     pub num_trees: usize,
@@ -35,7 +35,7 @@ impl Default for GbdtParams {
 /// A fitted gradient-boosted regression model.
 ///
 /// See the crate-level docs for an end-to-end example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gbdt {
     base: f64,
     learning_rate: f64,
@@ -86,13 +86,7 @@ impl Gbdt {
 
     /// Predicts the regression target for one feature row.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Mean squared error over a dataset.
@@ -111,6 +105,31 @@ impl Gbdt {
     /// Number of fitted trees.
     pub fn num_trees(&self) -> usize {
         self.trees.len()
+    }
+}
+
+impl ToJson for Gbdt {
+    fn to_json(&self) -> Value {
+        Value::obj(vec![
+            ("base", self.base.to_json()),
+            ("learning_rate", self.learning_rate.to_json()),
+            ("trees", self.trees.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Gbdt {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let base = f64::from_json(v.field("base")?)?;
+        let learning_rate = f64::from_json(v.field("learning_rate")?)?;
+        if !base.is_finite() || !learning_rate.is_finite() {
+            return Err(JsonError::new("gbdt: base/learning_rate must be finite"));
+        }
+        Ok(Gbdt {
+            base,
+            learning_rate,
+            trees: Vec::<Tree>::from_json(v.field("trees")?)?,
+        })
     }
 }
 
@@ -149,13 +168,7 @@ mod tests {
     #[test]
     fn interpolates_interaction_terms() {
         // XOR-like target needs depth >= 2.
-        let data = grid_2d(16, |a, b| {
-            if (a > 0.5) ^ (b > 0.5) {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let data = grid_2d(16, |a, b| if (a > 0.5) ^ (b > 0.5) { 1.0 } else { 0.0 });
         let model = Gbdt::fit(&data, &GbdtParams::default());
         assert!((model.predict(&[0.9, 0.1]) - 1.0).abs() < 0.1);
         assert!((model.predict(&[0.9, 0.9]) - 0.0).abs() < 0.1);
@@ -163,11 +176,7 @@ mod tests {
 
     #[test]
     fn constant_target_stops_early() {
-        let data = TrainSet::new(
-            (0..50).map(|i| vec![i as f64]).collect(),
-            vec![7.0; 50],
-        )
-        .unwrap();
+        let data = TrainSet::new((0..50).map(|i| vec![i as f64]).collect(), vec![7.0; 50]).unwrap();
         let model = Gbdt::fit(&data, &GbdtParams::default());
         assert!(model.num_trees() < 10, "trees: {}", model.num_trees());
         assert_eq!(model.predict(&[123.0]), 7.0);
@@ -179,6 +188,36 @@ mod tests {
         let m1 = Gbdt::fit(&data, &GbdtParams::default());
         let m2 = Gbdt::fit(&data, &GbdtParams::default());
         assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_predictions() {
+        let data = grid_2d(12, |a, b| (a * 3.0).sin() + b);
+        let model = Gbdt::fit(&data, &GbdtParams::default());
+        let text = ugrapher_util::json::to_string(&model);
+        let loaded: Gbdt = ugrapher_util::json::from_str(&text).unwrap();
+        assert_eq!(loaded, model);
+        for row in data.rows() {
+            assert_eq!(loaded.predict(row), model.predict(row));
+        }
+    }
+
+    #[test]
+    fn corrupted_model_is_rejected_not_panicking() {
+        // A split pointing at itself would loop forever in predict; the
+        // decoder must reject it.
+        let text = r#"{"base":0,"learning_rate":0.1,"trees":[[
+            {"feature":0,"threshold":0.5,"left":0,"right":0}
+        ]]}"#;
+        assert!(ugrapher_util::json::from_str::<Gbdt>(text).is_err());
+        // Out-of-bounds child index.
+        let text = r#"{"base":0,"learning_rate":0.1,"trees":[[
+            {"feature":0,"threshold":0.5,"left":1,"right":99}
+        ]]}"#;
+        assert!(ugrapher_util::json::from_str::<Gbdt>(text).is_err());
+        // Non-finite base (serializes to null).
+        let text = r#"{"base":null,"learning_rate":0.1,"trees":[]}"#;
+        assert!(ugrapher_util::json::from_str::<Gbdt>(text).is_err());
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! A single regression tree with variance-reduction splits.
 
-use serde::{Deserialize, Serialize};
+use ugrapher_util::json::{FromJson, JsonError, ToJson, Value};
 
 /// One node of a regression tree, indexed into the tree's node arena.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         value: f64,
@@ -24,7 +24,7 @@ enum Node {
 /// values provide candidate thresholds, and the candidate with the largest
 /// weighted-variance reduction wins. Growth stops at `max_depth`, at
 /// `min_samples_leaf`, or when no split improves the loss.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tree {
     nodes: Vec<Node>,
 }
@@ -150,6 +150,77 @@ impl Tree {
     }
 }
 
+impl ToJson for Tree {
+    fn to_json(&self) -> Value {
+        Value::Arr(
+            self.nodes
+                .iter()
+                .map(|n| match n {
+                    Node::Leaf { value } => Value::obj(vec![("leaf", value.to_json())]),
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => Value::obj(vec![
+                        ("feature", feature.to_json()),
+                        ("threshold", threshold.to_json()),
+                        ("left", left.to_json()),
+                        ("right", right.to_json()),
+                    ]),
+                })
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for Tree {
+    /// Decodes and *structurally validates* a tree: child indices must be
+    /// in bounds and strictly greater than the parent's index (the arena
+    /// invariant [`Tree::fit`] maintains), so a corrupted model file cannot
+    /// cause an out-of-bounds panic or an infinite prediction loop.
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| JsonError::new("tree: expected array"))?;
+        if items.is_empty() {
+            return Err(JsonError::new("tree: must have at least one node"));
+        }
+        let mut nodes = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            if let Some(leaf) = item.get("leaf") {
+                let value = f64::from_json(leaf)?;
+                if !value.is_finite() {
+                    return Err(JsonError::new(format!("tree node {i}: non-finite leaf")));
+                }
+                nodes.push(Node::Leaf { value });
+            } else {
+                let feature = usize::from_json(item.field("feature")?)?;
+                let threshold = f64::from_json(item.field("threshold")?)?;
+                let left = usize::from_json(item.field("left")?)?;
+                let right = usize::from_json(item.field("right")?)?;
+                if !threshold.is_finite() {
+                    return Err(JsonError::new(format!(
+                        "tree node {i}: non-finite threshold"
+                    )));
+                }
+                if left <= i || right <= i || left >= items.len() || right >= items.len() {
+                    return Err(JsonError::new(format!(
+                        "tree node {i}: child indices ({left}, {right}) break the arena invariant"
+                    )));
+                }
+                nodes.push(Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                });
+            }
+        }
+        Ok(Tree { nodes })
+    }
+}
+
 /// Finds the `(feature, threshold)` split with the largest variance
 /// reduction, or `None` if nothing improves.
 #[allow(clippy::needless_range_loop)] // `f` indexes a column across rows
@@ -195,9 +266,8 @@ fn best_split(
             let right_sum = total_sum - left_sum;
             // Variance reduction is equivalent to maximizing
             // sum_l^2/n_l + sum_r^2/n_r.
-            let gain =
-                left_sum * left_sum / left_n + right_sum * right_sum / right_n
-                    - total_sum * total_sum / n;
+            let gain = left_sum * left_sum / left_n + right_sum * right_sum / right_n
+                - total_sum * total_sum / n;
             if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
                 let threshold = (values[k - 1].0 + values[k].0) / 2.0;
                 best = Some((f, threshold, gain));

@@ -1,7 +1,7 @@
 //! Property-based tests for the GBDT substrate.
 
-use proptest::prelude::*;
 use ugrapher_gbdt::{Gbdt, GbdtParams, TrainSet};
+use ugrapher_util::check::forall;
 
 fn params() -> GbdtParams {
     GbdtParams {
@@ -10,16 +10,14 @@ fn params() -> GbdtParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn predictions_stay_near_target_range(
-        targets in prop::collection::vec(-50.0f64..50.0, 8..64),
-    ) {
-        // Boosting iterates residual corrections, so intermediate
-        // overshoot of a few percent of the target range is expected;
-        // predictions must still stay *near* [min, max], never run away.
+#[test]
+fn predictions_stay_near_target_range() {
+    // Boosting iterates residual corrections, so intermediate
+    // overshoot of a few percent of the target range is expected;
+    // predictions must still stay *near* [min, max], never run away.
+    forall("predictions_stay_near_target_range", 24, |rng| {
+        let n = rng.random_range(8usize..64);
+        let targets: Vec<f64> = (0..n).map(|_| rng.random_range(-50.0f64..50.0)).collect();
         let rows: Vec<Vec<f64>> = (0..targets.len())
             .map(|i| vec![i as f64, (i * i % 17) as f64])
             .collect();
@@ -30,45 +28,76 @@ proptest! {
         let margin = (hi - lo).max(1.0) * 0.10 + 1e-9;
         for r in &rows {
             let p = model.predict(r);
-            prop_assert!(p >= lo - margin && p <= hi + margin, "{p} outside [{lo}, {hi}]");
+            if !(p >= lo - margin && p <= hi + margin) {
+                return Err(format!("{p} outside [{lo}, {hi}]"));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fit_reduces_training_mse(
-        seed in 0u64..50,
-    ) {
+#[test]
+fn fit_reduces_training_mse() {
+    forall("fit_reduces_training_mse", 24, |rng| {
+        let seed = rng.random_range(0u64..50);
         let n = 60usize;
         let rows: Vec<Vec<f64>> = (0..n)
-            .map(|i| vec![((i as u64 * 37 + seed) % 29) as f64, ((i as u64 * 11 + seed) % 13) as f64])
+            .map(|i| {
+                vec![
+                    ((i as u64 * 37 + seed) % 29) as f64,
+                    ((i as u64 * 11 + seed) % 13) as f64,
+                ]
+            })
             .collect();
-        let targets: Vec<f64> = rows.iter().map(|r| r[0] * 2.0 - r[1] + (r[0] * r[1]).sqrt()).collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * 2.0 - r[1] + (r[0] * r[1]).sqrt())
+            .collect();
         let data = TrainSet::new(rows, targets.clone()).unwrap();
         let model = Gbdt::fit(&data, &params());
         let mean = targets.iter().sum::<f64>() / n as f64;
         let baseline = targets.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / n as f64;
-        prop_assert!(model.mse(&data) <= baseline + 1e-9);
-    }
+        if model.mse(&data) <= baseline + 1e-9 {
+            Ok(())
+        } else {
+            Err(format!(
+                "fit mse {} above mean-predictor baseline {baseline}",
+                model.mse(&data)
+            ))
+        }
+    });
+}
 
-    #[test]
-    fn prediction_is_pure(
-        x in prop::collection::vec(-10.0f64..10.0, 3),
-    ) {
-        let rows: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, -(i as f64), 0.5 * i as f64]).collect();
+#[test]
+fn prediction_is_pure() {
+    forall("prediction_is_pure", 24, |rng| {
+        let x: Vec<f64> = (0..3).map(|_| rng.random_range(-10.0f64..10.0)).collect();
+        let rows: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64, -(i as f64), 0.5 * i as f64])
+            .collect();
         let targets: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
         let model = Gbdt::fit(&TrainSet::new(rows, targets).unwrap(), &params());
-        prop_assert_eq!(model.predict(&x), model.predict(&x));
-    }
+        if model.predict(&x) == model.predict(&x) {
+            Ok(())
+        } else {
+            Err("prediction is not deterministic".to_string())
+        }
+    });
+}
 
-    #[test]
-    fn monotone_feature_yields_monotone_like_model(
-        offset in 0.0f64..5.0,
-    ) {
-        // y strictly increasing in x: model predictions should order
-        // extreme inputs correctly.
+#[test]
+fn monotone_feature_yields_monotone_like_model() {
+    // y strictly increasing in x: model predictions should order
+    // extreme inputs correctly.
+    forall("monotone_feature_monotone_model", 24, |rng| {
+        let offset = rng.random_range(0.0f64..5.0);
         let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 4.0 + offset]).collect();
         let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0]).collect();
         let model = Gbdt::fit(&TrainSet::new(rows, targets).unwrap(), &params());
-        prop_assert!(model.predict(&[offset]) < model.predict(&[offset + 19.0]));
-    }
+        if model.predict(&[offset]) < model.predict(&[offset + 19.0]) {
+            Ok(())
+        } else {
+            Err("extreme inputs are not ordered".to_string())
+        }
+    });
 }

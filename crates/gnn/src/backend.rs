@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::api::{GraphTensor, OpArgs, Runtime};
@@ -86,8 +86,7 @@ impl UGrapherBackend {
     /// strategies — much faster tuning, used by tests and quick runs.
     pub fn quick(device: DeviceConfig) -> Self {
         Self {
-            runtime: Runtime::new(device.clone())
-                .with_search_space(ParallelInfo::basics()),
+            runtime: Runtime::new(device.clone()).with_search_space(ParallelInfo::basics()),
             device,
             schedule_cache: Mutex::new(HashMap::new()),
         }
@@ -113,13 +112,21 @@ impl UGrapherBackend {
             graph.graph().num_edges(),
             feat,
         );
-        if let Some(p) = self.schedule_cache.lock().get(&key) {
+        if let Some(p) = self
+            .schedule_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             return Ok(*p);
         }
         let chosen = self
             .runtime
             .choose_schedule_shaped(graph, op, feat, scalars)?;
-        self.schedule_cache.lock().insert(key, chosen);
+        self.schedule_cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, chosen);
         Ok(chosen)
     }
 }
@@ -186,7 +193,14 @@ mod tests {
             .unwrap();
         assert_eq!(out1, out2);
         assert!(rep1.time_ms > 0.0);
-        assert_eq!(backend.schedule_cache.lock().len(), 1);
+        assert_eq!(
+            backend
+                .schedule_cache
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len(),
+            1
+        );
     }
 
     #[test]

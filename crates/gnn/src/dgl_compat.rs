@@ -210,13 +210,7 @@ pub fn apply_edges(
     backend: &dyn GraphOpBackend,
 ) -> Result<(Tensor2, SimReport), CoreError> {
     let (edge_op, a_type, b_type) = message.lower();
-    let op = OpInfo::new(
-        edge_op,
-        GatherOp::CopyRhs,
-        a_type,
-        b_type,
-        TensorType::Edge,
-    )?;
+    let op = OpInfo::new(edge_op, GatherOp::CopyRhs, a_type, b_type, TensorType::Edge)?;
     let site = OpSite::new(ModelKind::Gcn, 0, OpSiteKind::MessageCreation);
     backend.run_op(graph, &site, &op, &operands(a_type, b_type, a, b))
 }
@@ -245,8 +239,15 @@ mod tests {
     fn update_all_copy_u_sum_counts_degrees() {
         let g = uniform_random(100, 700, 2);
         let h = Tensor2::full(100, 4, 1.0);
-        let (out, report) =
-            update_all(&g, MessageFn::CopyU, ReduceFn::Sum, Some(&h), None, &backend()).unwrap();
+        let (out, report) = update_all(
+            &g,
+            MessageFn::CopyU,
+            ReduceFn::Sum,
+            Some(&h),
+            None,
+            &backend(),
+        )
+        .unwrap();
         for v in 0..100 {
             assert_eq!(out[(v, 0)], g.in_degree(v) as f32);
         }
@@ -258,9 +259,15 @@ mod tests {
         let g = uniform_random(80, 400, 3);
         let h = Tensor2::full(80, 8, 2.0);
         let w = Tensor2::full(400, 1, 0.5);
-        let (out, _) =
-            update_all(&g, MessageFn::UMulE, ReduceFn::Sum, Some(&h), Some(&w), &backend())
-                .unwrap();
+        let (out, _) = update_all(
+            &g,
+            MessageFn::UMulE,
+            ReduceFn::Sum,
+            Some(&h),
+            Some(&w),
+            &backend(),
+        )
+        .unwrap();
         for v in 0..80 {
             assert_eq!(out[(v, 0)], g.in_degree(v) as f32);
         }
@@ -270,8 +277,7 @@ mod tests {
     fn apply_edges_u_add_v() {
         let g = uniform_random(50, 200, 4);
         let h = Tensor2::from_fn(50, 2, |r, _| r as f32);
-        let (out, _) =
-            apply_edges(&g, MessageFn::UAddV, Some(&h), Some(&h), &backend()).unwrap();
+        let (out, _) = apply_edges(&g, MessageFn::UAddV, Some(&h), Some(&h), &backend()).unwrap();
         assert_eq!(out.rows(), g.num_edges());
         let coo = g.to_coo();
         for (e, (u, v)) in coo.iter_edges().enumerate() {

@@ -43,9 +43,7 @@ impl<'a> Ctx<'a> {
     /// Dense projection `x × w`, charged to the GEMM budget.
     pub fn gemm(&mut self, x: &Tensor2, w: &Tensor2) -> Result<Tensor2, GnnError> {
         let out = x.matmul(w)?;
-        self.gemm_ms += self
-            .gemm_model
-            .time_ms(x.rows(), w.cols(), x.cols());
+        self.gemm_ms += self.gemm_model.time_ms(x.rows(), w.cols(), x.cols());
         Ok(out)
     }
 

@@ -134,8 +134,7 @@ pub(crate) fn forward(
                 OpOperands::pair(&z_h, &alpha_h),
             )?;
             for r in 0..out.rows() {
-                out.row_mut(r)[head * head_dim..(head + 1) * head_dim]
-                    .copy_from_slice(agg.row(r));
+                out.row_mut(r)[head * head_dim..(head + 1) * head_dim].copy_from_slice(agg.row(r));
             }
         }
 

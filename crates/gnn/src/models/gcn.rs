@@ -79,6 +79,9 @@ mod tests {
         let g = Graph::from_edges(4, vec![0, 1, 2], vec![3, 3, 3]).unwrap();
         let w = norm_weights(&g);
         // All edges point at hub 3 (in-degree 3): 1/sqrt(2*4).
-        assert!(w.as_slice().iter().all(|&x| (x - 1.0 / 8.0f32.sqrt()).abs() < 1e-6));
+        assert!(w
+            .as_slice()
+            .iter()
+            .all(|&x| (x - 1.0 / 8.0f32.sqrt()).abs() < 1e-6));
     }
 }

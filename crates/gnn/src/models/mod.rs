@@ -13,8 +13,6 @@ mod gcn;
 mod gin;
 mod sage;
 
-use serde::{Deserialize, Serialize};
-
 use ugrapher_graph::Graph;
 use ugrapher_sim::SimReport;
 use ugrapher_tensor::Tensor2;
@@ -24,7 +22,7 @@ use crate::{GnnError, GraphOpBackend, ModelKind, OpSite};
 pub(crate) use ctx::Ctx;
 
 /// Model hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ModelConfig {
     /// Model family.
     pub kind: ModelKind,
@@ -229,7 +227,14 @@ mod tests {
         let model = ModelConfig::paper_default(ModelKind::Gat);
         let res = run_inference(&model, &g, &x, 3, &backend).unwrap();
         use crate::OpSiteKind::*;
-        for kind in [MessageCreation, SoftmaxMax, SoftmaxShift, SoftmaxSum, SoftmaxNorm, Aggregation] {
+        for kind in [
+            MessageCreation,
+            SoftmaxMax,
+            SoftmaxShift,
+            SoftmaxSum,
+            SoftmaxNorm,
+            Aggregation,
+        ] {
             assert!(
                 res.graph_ops.iter().any(|(s, _)| s.kind == kind),
                 "missing {kind:?}"

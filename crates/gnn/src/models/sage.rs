@@ -30,16 +30,12 @@ pub(crate) fn forward(
         let site = OpSite::new(model.kind, l + 1, OpSiteKind::Aggregation);
 
         let neighbor = match model.kind {
-            ModelKind::SageSum => ctx.op(
-                site,
-                OpInfo::aggregation_sum(),
-                OpOperands::single(&h),
-            )?,
-            ModelKind::SageMean => ctx.op(
-                site,
-                OpInfo::aggregation_mean(),
-                OpOperands::single(&h),
-            )?,
+            ModelKind::SageSum => {
+                ctx.op(site, OpInfo::aggregation_sum(), OpOperands::single(&h))?
+            }
+            ModelKind::SageMean => {
+                ctx.op(site, OpInfo::aggregation_mean(), OpOperands::single(&h))?
+            }
             ModelKind::SageMax => {
                 // Max-pooling: project every vertex through the pool MLP
                 // first, then take the element-wise max over in-neighbours
@@ -50,11 +46,7 @@ pub(crate) fn forward(
                     let p = ctx.gemm(&h, &w_pool)?;
                     ctx.bias_relu(&p, &b_pool)?
                 };
-                ctx.op(
-                    site,
-                    OpInfo::aggregation_max(),
-                    OpOperands::single(&pooled),
-                )?
+                ctx.op(site, OpInfo::aggregation_max(), OpOperands::single(&pooled))?
             }
             other => unreachable!("sage::forward called for {other:?}"),
         };

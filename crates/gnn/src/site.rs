@@ -5,10 +5,8 @@
 //! reproduces those names, and backends key per-operator schedule decisions
 //! on sites.
 
-use serde::{Deserialize, Serialize};
-
 /// The GNN model families of the paper's evaluation (§6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// Graph Convolutional Network (Kipf & Welling).
     Gcn,
@@ -61,7 +59,7 @@ impl ModelKind {
 }
 
 /// The role a graph operator plays within its layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpSiteKind {
     /// Message creation (e.g. GAT's attention-logit computation).
     MessageCreation,
@@ -91,7 +89,7 @@ impl OpSiteKind {
 }
 
 /// Identifies one graph-operator call site in a model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct OpSite {
     /// The model.
     pub model: ModelKind,

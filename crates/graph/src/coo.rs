@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::GraphError;
 
 /// A directed graph in coordinate (edge-list) form.
@@ -20,7 +18,7 @@ use crate::GraphError;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Coo {
     num_vertices: usize,
     src: Vec<u32>,
@@ -102,7 +100,10 @@ mod tests {
     #[test]
     fn new_validates_endpoints() {
         let err = Coo::new(2, vec![0, 2], vec![1, 1]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfBounds { vertex: 2, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfBounds { vertex: 2, .. }
+        ));
     }
 
     #[test]

@@ -7,13 +7,11 @@
 //! behaviour-determining properties of a dataset, which is what justifies
 //! the synthetic substitution (see DESIGN.md §2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::generate::{DegreeModel, GraphSpec};
 use crate::Graph;
 
 /// How much of the full-size dataset to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scale {
     /// Paper-size graphs (millions of edges for the largest). Used by the
     /// benchmark harness.
@@ -45,7 +43,7 @@ impl Scale {
 }
 
 /// One row of paper Table 3.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetInfo {
     /// Full dataset name as printed in the paper.
     pub name: &'static str,
@@ -306,7 +304,12 @@ mod tests {
     fn tiny_scale_builds_quickly_and_preserves_shape_class() {
         for d in catalog() {
             let g = d.build(Scale::Tiny);
-            assert!(g.num_edges() <= 6000, "{} too large: {}", d.name, g.num_edges());
+            assert!(
+                g.num_edges() <= 6000,
+                "{} too large: {}",
+                d.name,
+                g.num_edges()
+            );
             assert!(g.num_vertices() >= 32);
             assert!(g.num_edges() >= g.num_vertices());
         }

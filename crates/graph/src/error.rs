@@ -23,6 +23,13 @@ pub enum GraphError {
         /// Explanation of what was wrong.
         reason: String,
     },
+    /// An adjacency structure violated a CSR/CSC invariant
+    /// (non-monotone offsets, misaligned arrays, broken edge-id
+    /// bijection). Produced by [`crate::Graph::validate`].
+    InvalidStructure {
+        /// Explanation of what was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -41,6 +48,9 @@ impl fmt::Display for GraphError {
             ),
             GraphError::InvalidPermutation { reason } => {
                 write!(f, "invalid permutation: {reason}")
+            }
+            GraphError::InvalidStructure { reason } => {
+                write!(f, "invalid adjacency structure: {reason}")
             }
         }
     }

@@ -9,14 +9,12 @@
 //!
 //! All generators are deterministic given the [`GraphSpec::seed`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ugrapher_util::rng::StdRng;
 
 use crate::{Coo, Graph};
 
 /// The in-degree distribution of a generated graph.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DegreeModel {
     /// Every vertex has (nearly) the same in-degree — models the balanced
     /// biochemistry graphs (Yeast, DD, PROTEINS_full; std of nnz ≈ 1).
@@ -54,7 +52,7 @@ pub enum DegreeModel {
 /// assert_eq!(g.num_vertices(), 1000);
 /// assert_eq!(g.num_edges(), 5000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GraphSpec {
     /// Number of vertices.
     pub num_vertices: usize,

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Coo, DegreeStats, GraphError};
 
 /// A directed graph with both in-edge (CSC-like) and out-edge (CSR-like)
@@ -24,7 +22,7 @@ use crate::{Coo, DegreeStats, GraphError};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     num_vertices: usize,
     num_edges: usize,
@@ -169,6 +167,117 @@ impl Graph {
     pub fn degree_stats(&self) -> DegreeStats {
         DegreeStats::from_graph(self)
     }
+
+    /// Checks every CSR/CSC invariant the executors rely on.
+    ///
+    /// [`Graph::from_coo`] always produces a valid structure, but graphs
+    /// can also arrive from files, caches or future zero-copy paths, and
+    /// every executor indexes the arrays unchecked in its hot loop. The
+    /// invariants:
+    ///
+    /// * both offset arrays have `num_vertices + 1` entries, start at 0,
+    ///   end at `num_edges`, and are monotone non-decreasing;
+    /// * the slot arrays (`in_src`/`in_eid`, `out_dst`/`out_eid`) all have
+    ///   `num_edges` entries;
+    /// * every stored vertex id is `< num_vertices`;
+    /// * each view's edge ids are a bijection over `0..num_edges`, and the
+    ///   two views describe the same edge set: the edge `e = (s, d)` seen
+    ///   from `d`'s in-view is exactly the edge `e` seen from `s`'s
+    ///   out-view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidStructure`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let fail = |reason: String| Err(GraphError::InvalidStructure { reason });
+        let nv = self.num_vertices;
+        let ne = self.num_edges;
+
+        for (name, ptr) in [("in_ptr", &self.in_ptr), ("out_ptr", &self.out_ptr)] {
+            if ptr.len() != nv + 1 {
+                return fail(format!(
+                    "{name} has {} entries, expected {}",
+                    ptr.len(),
+                    nv + 1
+                ));
+            }
+            if ptr[0] != 0 {
+                return fail(format!("{name}[0] = {}, expected 0", ptr[0]));
+            }
+            if ptr[nv] != ne {
+                return fail(format!("{name}[{nv}] = {}, expected {ne} edges", ptr[nv]));
+            }
+            if let Some(v) = (0..nv).find(|&v| ptr[v] > ptr[v + 1]) {
+                return fail(format!(
+                    "{name} decreases at vertex {v}: {} > {}",
+                    ptr[v],
+                    ptr[v + 1]
+                ));
+            }
+        }
+
+        for (name, arr) in [
+            ("in_src", &self.in_src),
+            ("in_eid", &self.in_eid),
+            ("out_dst", &self.out_dst),
+            ("out_eid", &self.out_eid),
+        ] {
+            if arr.len() != ne {
+                return fail(format!("{name} has {} entries, expected {ne}", arr.len()));
+            }
+        }
+        for (name, arr) in [("in_src", &self.in_src), ("out_dst", &self.out_dst)] {
+            if let Some(&v) = arr.iter().find(|&&v| v as usize >= nv) {
+                return fail(format!("{name} references vertex {v} >= {nv}"));
+            }
+        }
+
+        // Edge-id bijection per view, plus cross-view agreement: recover
+        // (src, dst) per edge id from each view and compare.
+        let mut by_in: Vec<Option<(u32, u32)>> = vec![None; ne];
+        for d in 0..nv {
+            for slot in self.in_ptr[d]..self.in_ptr[d + 1] {
+                let e = self.in_eid[slot] as usize;
+                if e >= ne {
+                    return fail(format!("in_eid contains id {e} >= {ne}"));
+                }
+                if by_in[e].is_some() {
+                    return fail(format!("edge id {e} appears twice in the in-view"));
+                }
+                by_in[e] = Some((self.in_src[slot], d as u32));
+            }
+        }
+        let mut by_out: Vec<Option<(u32, u32)>> = vec![None; ne];
+        for s in 0..nv {
+            for slot in self.out_ptr[s]..self.out_ptr[s + 1] {
+                let e = self.out_eid[slot] as usize;
+                if e >= ne {
+                    return fail(format!("out_eid contains id {e} >= {ne}"));
+                }
+                if by_out[e].is_some() {
+                    return fail(format!("edge id {e} appears twice in the out-view"));
+                }
+                by_out[e] = Some((s as u32, self.out_dst[slot]));
+            }
+        }
+        for e in 0..ne {
+            match (by_in[e], by_out[e]) {
+                (Some(a), Some(b)) if a == b => {}
+                (Some(a), Some(b)) => {
+                    return fail(format!(
+                        "edge id {e} is {:?} in the in-view but {:?} in the out-view",
+                        a, b
+                    ))
+                }
+                // Lengths and per-view uniqueness already established both
+                // views cover all ne ids; missing cannot happen here, but
+                // keep the arm total rather than panic.
+                _ => return fail(format!("edge id {e} missing from a view")),
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Buckets edges by `key[e]`, producing `(ptr, other, eid)` CSR arrays.
@@ -256,5 +365,62 @@ mod tests {
             assert_eq!(g.in_degree(v), 0);
             assert_eq!(g.out_degree(v), 0);
         }
+    }
+
+    #[test]
+    fn constructed_graphs_validate() {
+        for g in [
+            diamond(),
+            Graph::from_edges(0, vec![], vec![]).unwrap(),
+            Graph::from_edges(2, vec![0, 0, 1], vec![0, 1, 1]).unwrap(),
+            Graph::from_edges(10, vec![0], vec![9]).unwrap(),
+        ] {
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_catches_corrupted_structures() {
+        let assert_invalid = |g: &Graph, what: &str| {
+            assert!(
+                matches!(g.validate(), Err(GraphError::InvalidStructure { .. })),
+                "{what} not caught"
+            );
+        };
+
+        let mut g = diamond();
+        g.in_ptr[1] = 5; // exceeds the next offset AND the edge count
+        assert_invalid(&g, "non-monotone in_ptr");
+
+        let mut g = diamond();
+        g.in_ptr.pop();
+        assert_invalid(&g, "short in_ptr");
+
+        let mut g = diamond();
+        *g.out_ptr.last_mut().unwrap() = 3;
+        assert_invalid(&g, "out_ptr not ending at num_edges");
+
+        let mut g = diamond();
+        g.in_src[0] = 99;
+        assert_invalid(&g, "out-of-bounds in_src");
+
+        let mut g = diamond();
+        g.in_eid[0] = g.in_eid[1];
+        assert_invalid(&g, "duplicate in-view edge id");
+
+        let mut g = diamond();
+        g.out_eid[0] = 77;
+        assert_invalid(&g, "out-of-range out_eid");
+
+        let mut g = diamond();
+        g.in_src.truncate(2);
+        assert_invalid(&g, "short in_src");
+
+        // Both views self-consistent but disagreeing on an edge's endpoints:
+        // in_src [0, 0, 1, 2] becomes [0, 1, 0, 2], so edge 1 reads 1 -> 2
+        // in the in-view while the out-view still says 0 -> 2.
+        let mut g = diamond();
+        g.in_src.swap(1, 2);
+        assert_invalid(&g, "in/out views describing different edges");
     }
 }

@@ -53,9 +53,20 @@ impl From<GraphError> for IoError {
 /// starting with `#` or `%` are comments. Vertex ids are 0-based; the
 /// vertex count is `max id + 1` unless a larger `min_vertices` is given.
 ///
+/// Duplicate-edge / self-loop policy (shared with
+/// [`read_matrix_market`]): both are **preserved**, never deduplicated or
+/// dropped. The runtime treats graphs as multigraphs with stable edge
+/// ids, so a repeated line becomes a second parallel edge and `v v`
+/// becomes a self-loop; collapsing either would silently change
+/// aggregation results (a duplicated edge doubles its contribution to a
+/// sum). Callers that need simple graphs must deduplicate explicitly.
+///
 /// # Errors
 ///
-/// Returns [`IoError`] on malformed lines or I/O failure.
+/// Returns [`IoError`] on malformed lines or I/O failure, and
+/// [`IoError::Graph`] when an edge references a vertex id at or above the
+/// final vertex count (only possible when a caller-supplied bound is
+/// involved; with the default `max id + 1` sizing every id is in range).
 pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, IoError> {
     let mut src = Vec::new();
     let mut dst = Vec::new();
@@ -94,18 +105,58 @@ pub fn read_edge_list<R: Read>(reader: R, min_vertices: usize) -> Result<Graph, 
     Ok(Graph::from_coo(&Coo::new(nv, src, dst)?))
 }
 
+/// Like [`read_edge_list`], but with a **hard** vertex bound: the file
+/// claims to describe a graph of exactly `num_vertices` vertices, and any
+/// edge endpoint at or beyond that bound is rejected instead of silently
+/// growing the graph. Use this when the vertex count comes from a trusted
+/// side channel (a dataset catalog, a header) and the edge list is not.
+///
+/// Duplicates and self-loops follow the policy documented on
+/// [`read_edge_list`]: preserved, multigraph semantics.
+///
+/// # Errors
+///
+/// Returns [`IoError::Parse`] on malformed lines and
+/// [`IoError::Graph`] ([`GraphError::VertexOutOfBounds`]) when an
+/// endpoint exceeds the declared bound.
+pub fn read_edge_list_bounded<R: Read>(reader: R, num_vertices: usize) -> Result<Graph, IoError> {
+    let g = read_edge_list(reader, num_vertices)?;
+    if g.num_vertices() > num_vertices {
+        // An id >= num_vertices forced the graph to grow; find it again so
+        // the error names the offender.
+        let coo = g.to_coo();
+        let offender = coo
+            .iter_edges()
+            .flat_map(|(s, d)| [s, d])
+            .find(|&v| v as usize >= num_vertices)
+            .unwrap_or(num_vertices as u32);
+        return Err(IoError::Graph(GraphError::VertexOutOfBounds {
+            vertex: offender,
+            num_vertices,
+        }));
+    }
+    Ok(g)
+}
+
 /// Reads a MatrixMarket coordinate file as a directed graph (entry
 /// `(i, j)` becomes edge `j-1 -> i-1`: column index = source, row =
 /// destination, matching adjacency-matrix SpMM convention). Values, if
 /// present, are ignored.
 ///
+/// Entries are checked against the declared header: a row index above the
+/// declared row count (or column above the column count) is a parse
+/// error, as is an entry count that disagrees with the declared `nnz`.
+/// Duplicate entries and diagonal entries follow the policy documented on
+/// [`read_edge_list`]: preserved as parallel edges / self-loops.
+///
 /// # Errors
 ///
-/// Returns [`IoError`] on malformed headers/lines or I/O failure.
+/// Returns [`IoError`] on malformed headers/lines, out-of-range indices,
+/// an entry-count mismatch, or I/O failure.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
     let mut lines = BufReader::new(reader).lines().enumerate();
     // Skip banner + comments, find the size line.
-    let (nv, declared_edges) = loop {
+    let (num_rows, num_cols, declared_edges) = loop {
         let Some((idx, line)) = lines.next() else {
             return Err(IoError::Parse {
                 line: 0,
@@ -132,11 +183,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
                 reason: "size line needs rows cols nnz".to_owned(),
             });
         }
-        break (nums[0].max(nums[1]), nums[2]);
+        break (nums[0], nums[1], nums[2]);
     };
+    let nv = num_rows.max(num_cols);
 
-    let mut src = Vec::with_capacity(declared_edges);
-    let mut dst = Vec::with_capacity(declared_edges);
+    // Don't trust the declared count for the allocation: a corrupt header
+    // could name petabytes. Cap the reservation; Vec grows past it fine.
+    let reserve = declared_edges.min(1 << 24);
+    let mut src = Vec::with_capacity(reserve);
+    let mut dst = Vec::with_capacity(reserve);
     for (idx, line) in lines {
         let line = line?;
         let t = line.trim();
@@ -163,8 +218,25 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
                 reason: "MatrixMarket indices are 1-based".to_owned(),
             });
         }
+        if row as usize > num_rows || col as usize > num_cols {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                reason: format!(
+                    "entry ({row}, {col}) outside declared {num_rows}x{num_cols} matrix"
+                ),
+            });
+        }
         src.push(col - 1);
         dst.push(row - 1);
+    }
+    if src.len() != declared_edges {
+        return Err(IoError::Parse {
+            line: 0,
+            reason: format!(
+                "header declares {declared_edges} entries but file has {}",
+                src.len()
+            ),
+        });
     }
     Ok(Graph::from_coo(&Coo::new(nv, src, dst)?))
 }
@@ -177,7 +249,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
 /// Returns any I/O error from the writer.
 pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> std::io::Result<()> {
     let coo = graph.to_coo();
-    writeln!(writer, "# {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, d) in coo.iter_edges() {
         writeln!(writer, "{s} {d}")?;
     }
@@ -249,5 +326,73 @@ mod tests {
         let g = read_edge_list("# nothing\n".as_bytes(), 5).unwrap();
         assert_eq!(g.num_vertices(), 5);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn bounded_edge_list_rejects_out_of_range_ids() {
+        let err = read_edge_list_bounded("0 1\n2 7\n".as_bytes(), 5).unwrap_err();
+        match err {
+            IoError::Graph(GraphError::VertexOutOfBounds {
+                vertex,
+                num_vertices,
+            }) => {
+                assert_eq!(vertex, 7);
+                assert_eq!(num_vertices, 5);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        // In-range ids pass and isolated tail vertices are kept.
+        let g = read_edge_list_bounded("0 1\n".as_bytes(), 5).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_preserved() {
+        // Policy: multigraph semantics, nothing silently dropped.
+        let g = read_edge_list("1 2\n1 2\n3 3\n".as_bytes(), 0).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.in_degree(3), 1);
+
+        let mm = "3 3 3\n2 1\n2 1\n3 3\n";
+        let g = read_matrix_market(mm.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degree(1), 2); // duplicated entry kept twice
+        assert_eq!(g.in_degree(2), 1); // diagonal entry becomes a self-loop
+    }
+
+    #[test]
+    fn matrix_market_rejects_entries_outside_declared_shape() {
+        // 4 exceeds the declared 3 rows even though nv = max(3, 3) = 3.
+        let err = read_matrix_market("3 3 1\n4 1\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+        // Rectangular: col bound is checked independently of row bound.
+        let err = read_matrix_market("5 2 1\n1 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_rejects_nnz_mismatch() {
+        let err = read_matrix_market("3 3 2\n1 1\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse { reason, .. } => {
+                assert!(reason.contains("declares 2"), "{reason}");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn matrix_market_missing_header_is_an_error() {
+        let err = read_matrix_market("% only comments\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn loaded_graphs_validate() {
+        let g = read_edge_list("0 1\n1 2\n2 0\n".as_bytes(), 0).unwrap();
+        g.validate().unwrap();
+        let g = read_matrix_market("3 3 2\n1 2\n3 1\n".as_bytes()).unwrap();
+        g.validate().unwrap();
     }
 }

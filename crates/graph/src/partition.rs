@@ -6,14 +6,12 @@
 //! same idea. This module produces the group list from a graph's in-edge
 //! CSR layout.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Graph;
 
 /// A contiguous slice of one destination vertex's in-edge slots.
 ///
 /// `start..start + len` indexes into [`Graph::in_src`] / [`Graph::in_eid`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NeighborGroup {
     /// The destination vertex whose in-edges this group covers.
     pub dst: u32,

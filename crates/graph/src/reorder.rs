@@ -8,12 +8,10 @@
 //! locality) plus simpler degree orders, all expressed through a validated
 //! [`Permutation`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Coo, Graph, GraphError};
 
 /// A bijection over vertex ids: `new_id = perm.new_of_old()[old_id]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Permutation {
     new_of_old: Vec<u32>,
 }
@@ -90,8 +88,16 @@ impl Permutation {
             graph.num_vertices()
         );
         let coo = graph.to_coo();
-        let src: Vec<u32> = coo.src().iter().map(|&v| self.new_of_old[v as usize]).collect();
-        let dst: Vec<u32> = coo.dst().iter().map(|&v| self.new_of_old[v as usize]).collect();
+        let src: Vec<u32> = coo
+            .src()
+            .iter()
+            .map(|&v| self.new_of_old[v as usize])
+            .collect();
+        let dst: Vec<u32> = coo
+            .dst()
+            .iter()
+            .map(|&v| self.new_of_old[v as usize])
+            .collect();
         Graph::from_coo(
             &Coo::new(graph.num_vertices(), src, dst).expect("renumbered endpoints stay in range"),
         )

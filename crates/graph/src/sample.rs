@@ -10,14 +10,12 @@
 //! [`Graph`] plus vertex mappings, so every uGrapher operator and schedule
 //! applies unchanged.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use ugrapher_util::rng::StdRng;
 
 use crate::{Coo, Graph};
 
 /// Configuration of k-hop neighbor sampling.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleConfig {
     /// Maximum in-neighbors kept per vertex per hop (GraphSAGE's fanout).
     pub fanout: Vec<usize>,
@@ -36,7 +34,7 @@ impl SampleConfig {
 }
 
 /// A sampled mini-batch subgraph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampledBatch {
     /// The extracted subgraph, with vertices renumbered to `0..n`.
     pub graph: Graph,
@@ -68,7 +66,10 @@ impl SampledBatch {
 ///
 /// Panics if any seed is out of range or `config.fanout` is empty.
 pub fn sample_neighbors(graph: &Graph, seeds: &[u32], config: &SampleConfig) -> SampledBatch {
-    assert!(!config.fanout.is_empty(), "fanout must have at least one hop");
+    assert!(
+        !config.fanout.is_empty(),
+        "fanout must have at least one hop"
+    );
     for &s in seeds {
         assert!(
             (s as usize) < graph.num_vertices(),

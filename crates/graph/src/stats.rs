@@ -6,8 +6,6 @@
 //! numbers are the graph features of the schedule predictor (Table 7), so
 //! this module is shared by reporting and tuning.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Graph;
 
 /// Summary statistics of a graph's in-degree distribution.
@@ -25,7 +23,7 @@ use crate::Graph;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DegreeStats {
     /// Number of vertices.
     pub num_vertices: usize,

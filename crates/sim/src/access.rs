@@ -92,7 +92,9 @@ impl Access {
         match self {
             Access::Coalesced { lanes, .. } => *lanes as u64,
             Access::Broadcast { .. } => 1,
-            Access::PerLaneRows { bases, bytes } => bases.len() as u64 * (*bytes as u64).div_ceil(4),
+            Access::PerLaneRows { bases, bytes } => {
+                bases.len() as u64 * (*bytes as u64).div_ceil(4)
+            }
             Access::Scatter { addrs } => addrs.len() as u64,
         }
     }
@@ -118,7 +120,10 @@ mod tests {
 
     #[test]
     fn misaligned_coalesced_spills_one_extra_sector() {
-        let a = Access::Coalesced { base: 16, lanes: 32 };
+        let a = Access::Coalesced {
+            base: 16,
+            lanes: 32,
+        };
         assert_eq!(lines_of(&a).len(), 5);
     }
 

@@ -140,8 +140,8 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = Cache::new(1024, 32, 4); // 32 lines
-        // Stream 1000 distinct lines twice: second pass still misses
-        // (LRU with a cyclic working set larger than capacity).
+                                             // Stream 1000 distinct lines twice: second pass still misses
+                                             // (LRU with a cyclic working set larger than capacity).
         for _ in 0..2 {
             for line in 0..1000u64 {
                 c.access_line(line, 1.0);

@@ -127,9 +127,7 @@ fn dram_latency(device: &DeviceConfig) -> CalibrationPoint {
     }
     sim.end_block();
     let report = sim.finish();
-    let cycles = (report.time_ms - device.launch_overhead_us * 1e-3) / 1e3
-        * device.clock_ghz
-        * 1e9;
+    let cycles = (report.time_ms - device.launch_overhead_us * 1e-3) / 1e3 * device.clock_ghz * 1e9;
     CalibrationPoint {
         name: "dram_latency_exposed",
         nominal: device.dram_latency / device.mlp_per_warp,
@@ -153,9 +151,7 @@ fn atomic_serialization(device: &DeviceConfig) -> CalibrationPoint {
         sim.end_block();
     }
     let report = sim.finish();
-    let cycles = (report.time_ms - device.launch_overhead_us * 1e-3) / 1e3
-        * device.clock_ghz
-        * 1e9;
+    let cycles = (report.time_ms - device.launch_overhead_us * 1e-3) / 1e3 * device.clock_ghz * 1e9;
     CalibrationPoint {
         name: "atomic_serialization",
         nominal: device.atomic_serial_cycles,

@@ -1,6 +1,6 @@
 //! GPU device parameters.
 
-use serde::{Deserialize, Serialize};
+use crate::error::SimError;
 
 /// Architectural parameters of a simulated GPU.
 ///
@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// parameters that drive the paper's cross-GPU observations are the SM
 /// count (A100 has more SMs, so it "favors more parallelism", §7.3) and the
 /// L2 capacity (A100's 40 MB vs V100's 6 MB shifts locality trade-offs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceConfig {
     /// Marketing name, used in reports.
     pub name: String,
@@ -111,6 +111,61 @@ impl DeviceConfig {
         }
     }
 
+    /// Checks the configuration is inside the legal envelope: every
+    /// structural parameter positive, every rate finite and positive.
+    /// Degenerate configs (zero SMs, zero clock) would otherwise surface as
+    /// divisions by zero deep inside the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidDevice`] naming the offending field.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let positive_usize: [(&str, usize); 8] = [
+            ("num_sms", self.num_sms),
+            ("max_warps_per_sm", self.max_warps_per_sm),
+            ("max_blocks_per_sm", self.max_blocks_per_sm),
+            ("warp_size", self.warp_size),
+            ("l1_assoc", self.l1_assoc),
+            ("l2_assoc", self.l2_assoc),
+            ("line_bytes", self.line_bytes),
+            ("registers_per_sm", self.registers_per_sm),
+        ];
+        for (field, v) in positive_usize {
+            if v == 0 {
+                return Err(SimError::InvalidDevice {
+                    reason: format!("{field} must be positive"),
+                });
+            }
+        }
+        let positive_f64: [(&str, f64); 9] = [
+            ("clock_ghz", self.clock_ghz),
+            ("issue_width", self.issue_width),
+            ("dram_bw_gbs", self.dram_bw_gbs),
+            ("l2_bw_gbs", self.l2_bw_gbs),
+            ("l1_latency", self.l1_latency),
+            ("l2_latency", self.l2_latency),
+            ("dram_latency", self.dram_latency),
+            ("atomic_serial_cycles", self.atomic_serial_cycles),
+            ("mlp_per_warp", self.mlp_per_warp),
+        ];
+        for (field, v) in positive_f64 {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(SimError::InvalidDevice {
+                    reason: format!("{field} must be finite and positive, got {v}"),
+                });
+            }
+        }
+        if !self.launch_overhead_us.is_finite() || self.launch_overhead_us < 0.0 {
+            return Err(SimError::InvalidDevice {
+                reason: format!(
+                    "launch_overhead_us must be finite and non-negative, got {}",
+                    self.launch_overhead_us
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// DRAM bandwidth available to one SM, in bytes per cycle.
     pub fn dram_bytes_per_cycle_per_sm(&self) -> f64 {
         self.dram_bw_gbs * 1e9 / (self.clock_ghz * 1e9) / self.num_sms as f64
@@ -145,6 +200,31 @@ mod tests {
         let v = DeviceConfig::v100();
         let total = v.dram_bytes_per_cycle_per_sm() * v.num_sms as f64 * v.clock_ghz * 1e9;
         assert!((total - v.dram_bw_gbs * 1e9).abs() / (v.dram_bw_gbs * 1e9) < 1e-9);
+    }
+
+    #[test]
+    fn presets_validate() {
+        DeviceConfig::v100().validate().unwrap();
+        DeviceConfig::a100().validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut d = DeviceConfig::v100();
+        d.num_sms = 0;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceConfig::v100();
+        d.clock_ghz = 0.0;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceConfig::v100();
+        d.dram_bw_gbs = f64::NAN;
+        assert!(d.validate().is_err());
+
+        let mut d = DeviceConfig::v100();
+        d.launch_overhead_us = -1.0;
+        assert!(d.validate().is_err());
     }
 
     #[test]

@@ -1,0 +1,31 @@
+//! Typed errors for the simulator.
+
+use std::fmt;
+
+/// Errors from device validation and fault injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A [`DeviceConfig`](crate::DeviceConfig) parameter is unusable
+    /// (zero SMs, non-positive clock, zero warp size, ...).
+    InvalidDevice {
+        /// Which field failed and why.
+        reason: String,
+    },
+    /// A fault-injection request is itself malformed (e.g. a non-finite
+    /// perturbation factor).
+    InvalidFault {
+        /// What was wrong with the request.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidDevice { reason } => write!(f, "invalid device config: {reason}"),
+            SimError::InvalidFault { reason } => write!(f, "invalid fault spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

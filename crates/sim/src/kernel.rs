@@ -259,14 +259,13 @@ impl KernelSim {
             compute += b.compute;
         }
 
-        let warps_per_block = self
-            .launch
-            .threads_per_block
-            .div_ceil(d.warp_size)
-            .max(1);
-        let res = timing::residency(d, self.launch.threads_per_block, self.launch.regs_per_thread);
-        let theoretical =
-            ((res * warps_per_block) as f64 / d.max_warps_per_sm as f64).min(1.0);
+        let warps_per_block = self.launch.threads_per_block.div_ceil(d.warp_size).max(1);
+        let res = timing::residency(
+            d,
+            self.launch.threads_per_block,
+            self.launch.regs_per_thread,
+        );
+        let theoretical = ((res * warps_per_block) as f64 / d.max_warps_per_sm as f64).min(1.0);
 
         let l1_total = totals.l1_transactions() * w;
         let l2_total = totals.l2_transactions() * w;
@@ -301,7 +300,10 @@ impl KernelSim {
     fn cached_access(&mut self, access: Access) {
         let scale = self.block_scale;
         let w = self.launch.replication * scale;
-        let (sm, cost) = self.current.as_mut().expect("memory access outside a block");
+        let (sm, cost) = self
+            .current
+            .as_mut()
+            .expect("memory access outside a block");
         let device = &self.device;
         self.line_buf.clear();
         access.lines(device, &mut self.line_buf);

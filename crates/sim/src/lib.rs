@@ -47,9 +47,11 @@
 
 mod access;
 mod alloc;
-pub mod calibrate;
 mod cache;
+pub mod calibrate;
 mod device;
+mod error;
+mod fault;
 mod kernel;
 mod report;
 pub mod timing;
@@ -58,5 +60,7 @@ pub use access::Access;
 pub use alloc::AddressSpace;
 pub use cache::Cache;
 pub use device::DeviceConfig;
+pub use error::SimError;
+pub use fault::{Fault, FaultInjector, FaultySim};
 pub use kernel::{KernelSim, LaunchConfig, MemScope};
 pub use report::SimReport;

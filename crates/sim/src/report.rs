@@ -1,13 +1,11 @@
 //! Kernel simulation reports.
 
-use serde::{Deserialize, Serialize};
-
 /// Metrics produced by simulating one kernel (or, after [`SimReport::merge`],
 /// a sequence of kernels).
 ///
 /// Field names follow the nvprof metrics the paper collects: achieved
 /// occupancy, SM efficiency and L2 hit rate (paper Figs. 3 and 16).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Simulated wall-clock time in milliseconds (including launch
     /// overhead).

@@ -76,10 +76,7 @@ pub fn residency(device: &DeviceConfig, threads_per_block: usize, regs_per_threa
     let warps_per_block = threads_per_block.div_ceil(device.warp_size).max(1);
     let by_warps = device.max_warps_per_sm / warps_per_block;
     let by_regs = device.registers_per_sm / (regs_per_thread.max(1) * threads_per_block.max(1));
-    by_warps
-        .min(device.max_blocks_per_sm)
-        .min(by_regs)
-        .max(1)
+    by_warps.min(device.max_blocks_per_sm).min(by_regs).max(1)
 }
 
 /// Computes kernel time and utilization metrics from the traced block pool.

@@ -11,10 +11,8 @@
 //! ops* than on the V100, which is why uGrapher's end-to-end speedup is
 //! higher on the A100 (paper §7.2).
 
-use serde::{Deserialize, Serialize};
-
 /// GPU parameters relevant to dense GEMM throughput.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmDevice {
     /// Peak sustained FP32 (or TF32 tensor-core) throughput in GFLOP/s.
     pub peak_gflops: f64,
@@ -61,7 +59,7 @@ impl GemmDevice {
 /// // A large GEMM is faster on the A100.
 /// assert!(a100.time_ms(4096, 4096, 4096) < v100.time_ms(4096, 4096, 4096));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GemmCostModel {
     device: GemmDevice,
 }

@@ -2,7 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 /// Errors produced by tensor operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TensorError {
     /// The shapes of two operands are incompatible for the requested
     /// operation (e.g. element-wise add of a `2×3` and a `3×2`).
@@ -21,6 +21,17 @@ pub enum TensorError {
         /// Actual buffer length.
         len: usize,
     },
+    /// A tensor element is NaN or infinite. Produced by
+    /// [`crate::Tensor2::validate_finite`]; a single NaN fed into an
+    /// aggregation would silently poison every downstream vertex feature.
+    NonFinite {
+        /// Row of the first offending element.
+        row: usize,
+        /// Column of the first offending element.
+        col: usize,
+        /// The offending value (NaN or ±inf).
+        value: f32,
+    },
 }
 
 impl fmt::Display for TensorError {
@@ -36,6 +47,9 @@ impl fmt::Display for TensorError {
                 "buffer of length {len} cannot back a {}x{} tensor",
                 shape.0, shape.1
             ),
+            TensorError::NonFinite { row, col, value } => {
+                write!(f, "non-finite element {value} at ({row}, {col})")
+            }
         }
     }
 }

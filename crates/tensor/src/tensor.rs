@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::TensorError;
 
 /// A dense, row-major `f32` matrix.
@@ -18,7 +16,7 @@ use crate::TensorError;
 /// assert_eq!(t[(1, 1)], 2.0);
 /// assert_eq!(t.row(0), &[0.0, 1.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Tensor2 {
     rows: usize,
     cols: usize,
@@ -102,6 +100,27 @@ impl Tensor2 {
     /// Whether the tensor has no elements.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Checks that every element is finite (no NaN, no ±inf).
+    ///
+    /// Graph aggregations propagate a single poisoned element to every
+    /// vertex reachable from it, so the runtime validates operand tensors
+    /// up front instead of producing a silently-NaN output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NonFinite`] locating the first offending
+    /// element.
+    pub fn validate_finite(&self) -> Result<(), TensorError> {
+        match self.data.iter().position(|v| !v.is_finite()) {
+            None => Ok(()),
+            Some(i) => Err(TensorError::NonFinite {
+                row: i.checked_div(self.cols).unwrap_or(0),
+                col: i.checked_rem(self.cols).unwrap_or(0),
+                value: self.data[i],
+            }),
+        }
     }
 
     /// Borrows the backing row-major buffer.
@@ -233,6 +252,25 @@ impl Default for Tensor2 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_finite_locates_the_poison() {
+        let mut t = Tensor2::zeros(3, 4);
+        t.validate_finite().unwrap();
+        t.as_mut_slice()[6] = f32::NAN; // row 1, col 2
+        match t.validate_finite().unwrap_err() {
+            TensorError::NonFinite { row, col, value } => {
+                assert_eq!((row, col), (1, 2));
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        t.as_mut_slice()[6] = f32::INFINITY;
+        assert!(t.validate_finite().is_err());
+        // Degenerate shapes never divide by zero.
+        Tensor2::zeros(0, 0).validate_finite().unwrap();
+        Tensor2::zeros(5, 0).validate_finite().unwrap();
+    }
 
     #[test]
     fn zeros_and_shape() {

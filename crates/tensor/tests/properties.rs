@@ -1,56 +1,98 @@
 //! Property-based tests for the tensor substrate.
 
-use proptest::prelude::*;
 use ugrapher_tensor::Tensor2;
+use ugrapher_util::check::forall;
+use ugrapher_util::rng::StdRng;
 
-fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor2> {
-    prop::collection::vec(-100.0f32..100.0, rows * cols)
-        .prop_map(move |v| Tensor2::from_vec(rows, cols, v).unwrap())
+fn random_tensor(rng: &mut StdRng, rows: usize, cols: usize) -> Tensor2 {
+    let v: Vec<f32> = (0..rows * cols)
+        .map(|_| rng.random_range(-100.0f32..100.0))
+        .collect();
+    Tensor2::from_vec(rows, cols, v).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn add_commutes(a in tensor_strategy(4, 5), b in tensor_strategy(4, 5)) {
-        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+fn eq(a: &Tensor2, b: &Tensor2, what: &str) -> Result<(), String> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(format!("{what}: tensors differ"))
     }
+}
 
-    #[test]
-    fn sub_self_is_zero(a in tensor_strategy(3, 3)) {
+#[test]
+fn add_commutes() {
+    forall("add_commutes", 64, |rng| {
+        let a = random_tensor(rng, 4, 5);
+        let b = random_tensor(rng, 4, 5);
+        eq(&a.add(&b).unwrap(), &b.add(&a).unwrap(), "a+b vs b+a")
+    });
+}
+
+#[test]
+fn sub_self_is_zero() {
+    forall("sub_self_is_zero", 64, |rng| {
+        let a = random_tensor(rng, 3, 3);
         let z = a.sub(&a).unwrap();
-        prop_assert!(z.as_slice().iter().all(|&x| x == 0.0));
-    }
+        if z.as_slice().iter().all(|&x| x == 0.0) {
+            Ok(())
+        } else {
+            Err("a - a has a non-zero entry".to_string())
+        }
+    });
+}
 
-    #[test]
-    fn transpose_is_involution(a in tensor_strategy(3, 7)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
-    }
+#[test]
+fn transpose_is_involution() {
+    forall("transpose_is_involution", 64, |rng| {
+        let a = random_tensor(rng, 3, 7);
+        eq(&a.transpose().transpose(), &a, "double transpose")
+    });
+}
 
-    #[test]
-    fn matmul_identity_left_right(a in tensor_strategy(4, 4)) {
+#[test]
+fn matmul_identity_left_right() {
+    forall("matmul_identity", 64, |rng| {
+        let a = random_tensor(rng, 4, 4);
         let i = Tensor2::eye(4);
-        prop_assert!(a.matmul(&i).unwrap().approx_eq(&a, 1e-4).unwrap());
-        prop_assert!(i.matmul(&a).unwrap().approx_eq(&a, 1e-4).unwrap());
-    }
+        if !a.matmul(&i).unwrap().approx_eq(&a, 1e-4).unwrap() {
+            return Err("a * I != a".to_string());
+        }
+        if !i.matmul(&a).unwrap().approx_eq(&a, 1e-4).unwrap() {
+            return Err("I * a != a".to_string());
+        }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(
-        a in tensor_strategy(3, 4),
-        b in tensor_strategy(4, 2),
-        c in tensor_strategy(4, 2),
-    ) {
+#[test]
+fn matmul_distributes_over_add() {
+    forall("matmul_distributes_over_add", 64, |rng| {
+        let a = random_tensor(rng, 3, 4);
+        let b = random_tensor(rng, 4, 2);
+        let c = random_tensor(rng, 4, 2);
         let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
         let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
-        prop_assert!(lhs.approx_eq(&rhs, 1e-2).unwrap());
-    }
+        if lhs.approx_eq(&rhs, 1e-2).unwrap() {
+            Ok(())
+        } else {
+            Err("a(b + c) != ab + ac".to_string())
+        }
+    });
+}
 
-    #[test]
-    fn relu_is_idempotent(a in tensor_strategy(5, 5)) {
+#[test]
+fn relu_is_idempotent() {
+    forall("relu_is_idempotent", 64, |rng| {
+        let a = random_tensor(rng, 5, 5);
         let r = a.relu();
-        prop_assert_eq!(r.relu(), r);
-    }
+        eq(&r.relu(), &r, "relu(relu(a)) vs relu(a)")
+    });
+}
 
-    #[test]
-    fn scale_by_one_is_identity(a in tensor_strategy(2, 8)) {
-        prop_assert_eq!(a.scale(1.0), a);
-    }
+#[test]
+fn scale_by_one_is_identity() {
+    forall("scale_by_one_is_identity", 64, |rng| {
+        let a = random_tensor(rng, 2, 8);
+        eq(&a.scale(1.0), &a, "a * 1.0")
+    });
 }

@@ -1,0 +1,103 @@
+//! A tiny deterministic property-test harness.
+//!
+//! Stands in for `proptest` (unavailable offline): a property is a
+//! closure over a seeded [`StdRng`]; [`forall`] runs it for `cases`
+//! deterministic seeds, catching panics so a failure reports the exact
+//! seed to reproduce with. There is no shrinking — cases are kept small
+//! by construction instead.
+
+use crate::rng::StdRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `property` for `cases` deterministic seeds derived from `name`.
+///
+/// The property returns `Err(reason)` for a clean failure; panics inside
+/// the property are caught and reported the same way. On any failure this
+/// panics with the property name and the case seed so the run can be
+/// reproduced exactly.
+pub fn forall<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    // Derive a stable base seed from the property name so distinct
+    // properties explore distinct streams.
+    let base: u64 = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    for case in 0..cases {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(reason)) => {
+                panic!("property `{name}` failed on case {case} (seed {seed:#x}): {reason}")
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                panic!("property `{name}` panicked on case {case} (seed {seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+/// Assert two f32 values are close; returns `Err` with context otherwise.
+pub fn close(a: f32, b: f32, tol: f32, context: &str) -> Result<(), String> {
+    if (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())) {
+        Ok(())
+    } else {
+        Err(format!("{context}: {a} vs {b} (tol {tol})"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        forall("count", 32, |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failing_property_reports_seed() {
+        forall("always-false", 4, |_| Err("nope".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked on case")]
+    fn panicking_property_is_caught() {
+        forall("panics", 4, |_| panic!("boom"));
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let mut first: Vec<u64> = Vec::new();
+        forall("stream", 8, |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        forall("stream", 8, |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn close_accepts_near_and_rejects_far() {
+        assert!(close(1.0, 1.0 + 1e-6, 1e-4, "near").is_ok());
+        assert!(close(1.0, 2.0, 1e-4, "far").is_err());
+    }
+}

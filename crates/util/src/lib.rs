@@ -1,0 +1,16 @@
+//! # ugrapher-util
+//!
+//! Small dependency-free utilities shared across the workspace:
+//!
+//! * [`rng`] — a deterministic xoshiro256++ PRNG with a `rand`-style
+//!   surface (`random`, `random_range`), so the workspace builds with no
+//!   external crates (the build environment is fully offline);
+//! * [`json`] — a minimal JSON value type, parser and writer plus
+//!   [`json::ToJson`]/[`json::FromJson`] traits for the handful of types
+//!   the repo persists (trained predictors, benchmark results);
+//! * [`check`] — a tiny deterministic property-test harness standing in
+//!   for `proptest`: run N seeded cases, report the failing seed.
+
+pub mod check;
+pub mod json;
+pub mod rng;

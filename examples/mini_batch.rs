@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // A batch of 256 seed vertices with GraphSAGE's (25, 10) fanout.
-    let seeds: Vec<u32> = (0..256u32).map(|i| i * 7 % graph.num_vertices() as u32).collect();
+    let seeds: Vec<u32> = (0..256u32)
+        .map(|i| i * 7 % graph.num_vertices() as u32)
+        .collect();
     let batch = sample_neighbors(&graph, &seeds, &SampleConfig::sage_default());
     println!(
         "sampled batch: {} vertices ({} seeds), {} edges",
@@ -64,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // ...and compare with the schedule tuned for the full graph.
-    let full = uGrapher(&GraphTensor::new(&graph), &OpArgs::fused(op, &global_x), None)?;
+    let full = uGrapher(
+        &GraphTensor::new(&graph),
+        &OpArgs::fused(op, &global_x),
+        None,
+    )?;
     println!(
         "full-graph aggregation: schedule {} -> {:.4} ms",
         full.schedule.label(),
@@ -78,6 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Seed outputs are rows 0..num_seeds of the batch output.
     let seed_embeddings: Vec<&[f32]> = (0..batch.num_seeds).map(|s| sub.output.row(s)).collect();
-    println!("computed {} seed embeddings of dim {feat}", seed_embeddings.len());
+    println!(
+        "computed {} seed embeddings of dim {feat}",
+        seed_embeddings.len()
+    );
     Ok(())
 }

@@ -47,3 +47,4 @@ pub use ugrapher_gnn as gnn;
 pub use ugrapher_graph as graph;
 pub use ugrapher_sim as sim;
 pub use ugrapher_tensor as tensor;
+pub use ugrapher_util as util;

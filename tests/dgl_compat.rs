@@ -30,15 +30,11 @@ fn update_all_agrees_across_backends() {
             let b = if message == MessageFn::UAddV { &h } else { &w };
             let mut reference: Option<Tensor2> = None;
             for backend in backends {
-                let (out, _) = update_all(
-                    &g,
-                    message,
-                    reduce,
-                    Some(&h),
-                    needs_b.then_some(b),
-                    backend,
-                )
-                .unwrap_or_else(|e| panic!("{} {message:?}/{reduce:?}: {e}", backend.name()));
+                let (out, _) =
+                    update_all(&g, message, reduce, Some(&h), needs_b.then_some(b), backend)
+                        .unwrap_or_else(|e| {
+                            panic!("{} {message:?}/{reduce:?}: {e}", backend.name())
+                        });
                 match &reference {
                     Some(r) => assert!(
                         out.approx_eq(r, 1e-4).unwrap(),

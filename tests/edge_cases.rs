@@ -55,7 +55,10 @@ fn hub_graph_all_strategies_agree() {
     for p in ParallelInfo::basics() {
         let out = uGrapher(&gt, &args, Some(p)).unwrap();
         if p.strategy.is_edge_parallel() {
-            assert!(out.report.max_atomic_conflict > 0.0, "{p}: hub must conflict");
+            assert!(
+                out.report.max_atomic_conflict > 0.0,
+                "{p}: hub must conflict"
+            );
         }
         match &reference {
             Some(r) => assert_eq!(&out.output, r, "{p} diverged on star graph"),

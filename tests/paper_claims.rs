@@ -177,5 +177,8 @@ fn devices_can_prefer_different_schedules() {
             break;
         }
     }
-    assert!(differs, "V100 and A100 chose identical schedules everywhere");
+    assert!(
+        differs,
+        "V100 and A100 chose identical schedules everywhere"
+    );
 }

@@ -2,10 +2,10 @@
 //! independent of its *schedule* (computation/schedule decoupling, §3/§5).
 //! These property tests drive random operators over random graphs under
 //! every basic strategy plus random grouping/tiling knobs and require
-//! bit-identical outputs.
+//! bit-identical outputs. Illegal operators must come back as typed
+//! validation errors, never as panics.
 
-use proptest::prelude::*;
-
+use ugrapher::core::abstraction::registry::all_valid_ops;
 use ugrapher::core::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
 use ugrapher::core::api::{GraphTensor, OpArgs, Runtime};
 use ugrapher::core::exec::OpOperands;
@@ -13,26 +13,27 @@ use ugrapher::core::schedule::{ParallelInfo, Strategy as Sched};
 use ugrapher::graph::{Coo, Graph};
 use ugrapher::sim::DeviceConfig;
 use ugrapher::tensor::Tensor2;
+use ugrapher::util::check::forall;
+use ugrapher::util::rng::StdRng;
 
-fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (3usize..30).prop_flat_map(|nv| {
-        prop::collection::vec((0..nv as u32, 0..nv as u32), 1..80).prop_map(move |edges| {
-            let (src, dst): (Vec<u32>, Vec<u32>) = edges.into_iter().unzip();
-            Graph::from_coo(&Coo::new(nv, src, dst).unwrap())
-        })
-    })
+/// A random graph with 3..30 vertices and 1..80 (possibly duplicate,
+/// possibly self-loop) edges — the same distribution the proptest suite
+/// used.
+fn random_graph(rng: &mut StdRng) -> Graph {
+    let nv = rng.random_range(3usize..30);
+    let ne = rng.random_range(1usize..80);
+    let src: Vec<u32> = (0..ne).map(|_| rng.random_range(0..nv as u32)).collect();
+    let dst: Vec<u32> = (0..ne).map(|_| rng.random_range(0..nv as u32)).collect();
+    Graph::from_coo(&Coo::new(nv, src, dst).unwrap())
 }
 
-fn op_strategy() -> impl Strategy<Value = OpInfo> {
-    let all: Vec<OpInfo> = ugrapher::core::abstraction::registry::all_valid_ops();
-    prop::sample::select(all)
+fn random_op(rng: &mut StdRng) -> OpInfo {
+    let all = all_valid_ops();
+    all[rng.random_range(0..all.len())]
 }
 
-fn knobs() -> impl Strategy<Value = (usize, usize)> {
-    (
-        prop::sample::select(ParallelInfo::KNOB_VALUES.to_vec()),
-        prop::sample::select(ParallelInfo::KNOB_VALUES.to_vec()),
-    )
+fn random_knob(rng: &mut StdRng) -> usize {
+    ParallelInfo::KNOB_VALUES[rng.random_range(0..ParallelInfo::KNOB_VALUES.len())]
 }
 
 fn tensor_for(t: TensorType, graph: &Graph, feat: usize, salt: u64) -> Option<Tensor2> {
@@ -47,20 +48,21 @@ fn tensor_for(t: TensorType, graph: &Graph, feat: usize, salt: u64) -> Option<Te
     }))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn outputs_identical_across_all_schedules() {
+    forall("outputs_identical_across_all_schedules", 48, |rng| {
+        let graph = random_graph(rng);
+        let op = random_op(rng);
+        let feat = rng.random_range(1usize..20);
+        let (grouping, tiling) = (random_knob(rng), random_knob(rng));
+        let salt = rng.random_range(0u64..100);
 
-    #[test]
-    fn outputs_identical_across_all_schedules(
-        graph in graph_strategy(),
-        op in op_strategy(),
-        feat in 1usize..20,
-        (grouping, tiling) in knobs(),
-        salt in 0u64..100,
-    ) {
         let a = tensor_for(op.a, &graph, feat, salt);
         let b = tensor_for(op.b, &graph, feat, salt ^ 0xABCD);
-        let operands = OpOperands { a: a.as_ref(), b: b.as_ref() };
+        let operands = OpOperands {
+            a: a.as_ref(),
+            b: b.as_ref(),
+        };
         let gt = GraphTensor::new(&graph);
         let rt = Runtime::new(DeviceConfig::v100());
         let args = OpArgs { op, operands };
@@ -68,40 +70,104 @@ proptest! {
         let mut reference: Option<Tensor2> = None;
         for strategy in Sched::ALL {
             let parallel = ParallelInfo::new(strategy, grouping, tiling);
-            let out = rt.run(&gt, &args, Some(parallel)).unwrap().output;
+            let out = rt
+                .run(&gt, &args, Some(parallel))
+                .map_err(|e| format!("{} failed: {e}", parallel.label()))?
+                .output;
             match &reference {
-                Some(r) => prop_assert_eq!(&out, r, "{} diverged", parallel.label()),
+                Some(r) => {
+                    if &out != r {
+                        return Err(format!("{} diverged", parallel.label()));
+                    }
+                }
                 None => reference = Some(out),
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sum_aggregation_is_linear(
-        graph in graph_strategy(),
-        feat in 1usize..8,
-        scale in 1u32..5,
-    ) {
-        // aggregation_sum(k * x) == k * aggregation_sum(x): exercises the
-        // whole stack against an algebraic invariant.
+#[test]
+fn illegal_operators_are_typed_errors_not_panics() {
+    // Public fields make arbitrary (edge_op, gather_op, A, B, C) tuples
+    // constructible without `OpInfo::new`'s checks; running one must come
+    // back as a typed error from validation, never a panic. Valid combos
+    // must agree with `OpInfo::new`.
+    forall("illegal_operators_are_typed_errors", 64, |rng| {
+        let edge_op = EdgeOp::ALL[rng.random_range(0..EdgeOp::ALL.len())];
+        let gather_op = GatherOp::ALL[rng.random_range(0..GatherOp::ALL.len())];
+        let a = TensorType::ALL[rng.random_range(0..TensorType::ALL.len())];
+        let b = TensorType::ALL[rng.random_range(0..TensorType::ALL.len())];
+        let c = TensorType::ALL[rng.random_range(0..TensorType::ALL.len())];
+        let op = OpInfo {
+            edge_op,
+            gather_op,
+            a,
+            b,
+            c,
+        };
+        let constructible = OpInfo::new(edge_op, gather_op, a, b, c).is_ok();
+        if op.validate().is_ok() != constructible {
+            return Err(format!("validate() and new() disagree on {op:?}"));
+        }
+        if constructible {
+            return Ok(());
+        }
+
+        let graph = random_graph(rng);
+        let feat = rng.random_range(1usize..6);
+        let ta = tensor_for(a, &graph, feat, 1);
+        let tb = tensor_for(b, &graph, feat, 2);
+        let args = OpArgs {
+            op,
+            operands: OpOperands {
+                a: ta.as_ref(),
+                b: tb.as_ref(),
+            },
+        };
+        let rt = Runtime::new(DeviceConfig::v100());
+        let gt = GraphTensor::new(&graph);
+        match rt.run(&gt, &args, Some(ParallelInfo::basic(Sched::ThreadVertex))) {
+            Err(_) => Ok(()),
+            Ok(_) => Err(format!("invalid operator {op:?} was accepted")),
+        }
+    });
+}
+
+#[test]
+fn sum_aggregation_is_linear() {
+    // aggregation_sum(k * x) == k * aggregation_sum(x): exercises the
+    // whole stack against an algebraic invariant.
+    forall("sum_aggregation_is_linear", 32, |rng| {
+        let graph = random_graph(rng);
+        let feat = rng.random_range(1usize..8);
+        let scale = rng.random_range(1u32..5);
         let x = tensor_for(TensorType::SrcV, &graph, feat, 1).unwrap();
         let kx = x.scale(scale as f32);
         let rt = Runtime::new(DeviceConfig::v100());
         let gt = GraphTensor::new(&graph);
         let p = Some(ParallelInfo::basic(Sched::WarpEdge));
-        let base = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p).unwrap();
-        let scaled = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &kx), p).unwrap();
-        prop_assert!(
-            scaled.output.approx_eq(&base.output.scale(scale as f32), 1e-3).unwrap()
-        );
-    }
+        let base = rt
+            .run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p)
+            .map_err(|e| e.to_string())?;
+        let scaled = rt
+            .run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &kx), p)
+            .map_err(|e| e.to_string())?;
+        let expect = base.output.scale(scale as f32);
+        if scaled.output.approx_eq(&expect, 1e-3).unwrap() {
+            Ok(())
+        } else {
+            Err("sum aggregation is not linear".to_string())
+        }
+    });
+}
 
-    #[test]
-    fn max_aggregation_is_idempotent_under_duplication(
-        graph in graph_strategy(),
-        feat in 1usize..6,
-    ) {
-        // Duplicating every edge must not change a max aggregation.
+#[test]
+fn max_aggregation_is_idempotent_under_duplication() {
+    // Duplicating every edge must not change a max aggregation.
+    forall("max_aggregation_idempotent", 32, |rng| {
+        let graph = random_graph(rng);
+        let feat = rng.random_range(1usize..6);
         let coo = graph.to_coo();
         let mut src = coo.src().to_vec();
         let mut dst = coo.dst().to_vec();
@@ -112,56 +178,105 @@ proptest! {
         let x = tensor_for(TensorType::SrcV, &graph, feat, 9).unwrap();
         let rt = Runtime::new(DeviceConfig::v100());
         let p = Some(ParallelInfo::basic(Sched::ThreadVertex));
-        let a = rt.run(
-            &GraphTensor::new(&graph),
-            &OpArgs::fused(OpInfo::aggregation_max(), &x),
-            p,
-        ).unwrap();
-        let b = rt.run(
-            &GraphTensor::new(&doubled),
-            &OpArgs::fused(OpInfo::aggregation_max(), &x),
-            p,
-        ).unwrap();
-        prop_assert_eq!(a.output, b.output);
-    }
+        let a = rt
+            .run(
+                &GraphTensor::new(&graph),
+                &OpArgs::fused(OpInfo::aggregation_max(), &x),
+                p,
+            )
+            .map_err(|e| e.to_string())?;
+        let b = rt
+            .run(
+                &GraphTensor::new(&doubled),
+                &OpArgs::fused(OpInfo::aggregation_max(), &x),
+                p,
+            )
+            .map_err(|e| e.to_string())?;
+        if a.output == b.output {
+            Ok(())
+        } else {
+            Err("max aggregation changed under edge duplication".to_string())
+        }
+    });
+}
 
-    #[test]
-    fn mean_equals_sum_divided_by_degree(
-        graph in graph_strategy(),
-        feat in 1usize..6,
-    ) {
+#[test]
+fn mean_equals_sum_divided_by_degree() {
+    forall("mean_equals_sum_over_degree", 32, |rng| {
+        let graph = random_graph(rng);
+        let feat = rng.random_range(1usize..6);
         let x = tensor_for(TensorType::SrcV, &graph, feat, 4).unwrap();
         let rt = Runtime::new(DeviceConfig::v100());
         let gt = GraphTensor::new(&graph);
         let p = Some(ParallelInfo::basic(Sched::ThreadEdge));
-        let sum = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p).unwrap().output;
-        let mean = rt.run(&gt, &OpArgs::fused(OpInfo::aggregation_mean(), &x), p).unwrap().output;
+        let sum = rt
+            .run(&gt, &OpArgs::fused(OpInfo::aggregation_sum(), &x), p)
+            .map_err(|e| e.to_string())?
+            .output;
+        let mean = rt
+            .run(&gt, &OpArgs::fused(OpInfo::aggregation_mean(), &x), p)
+            .map_err(|e| e.to_string())?
+            .output;
         for v in 0..graph.num_vertices() {
             let deg = graph.in_degree(v);
             for f in 0..feat {
-                let expect = if deg == 0 { 0.0 } else { sum[(v, f)] / deg as f32 };
-                prop_assert!((mean[(v, f)] - expect).abs() < 1e-4);
+                let expect = if deg == 0 {
+                    0.0
+                } else {
+                    sum[(v, f)] / deg as f32
+                };
+                if (mean[(v, f)] - expect).abs() >= 1e-4 {
+                    return Err(format!(
+                        "mean[{v},{f}] = {} but sum/degree = {expect}",
+                        mean[(v, f)]
+                    ));
+                }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn edge_sub_copy_roundtrip(
-        graph in graph_strategy(),
-        feat in 1usize..6,
-    ) {
-        // (e - m) + m == e where m is any DstV tensor: checks edge-output
-        // binary operators against each other.
-        prop_assume!(graph.num_edges() > 0);
+#[test]
+fn edge_sub_copy_roundtrip() {
+    // (e - m) + m == e where m is any DstV tensor: checks edge-output
+    // binary operators against each other.
+    forall("edge_sub_copy_roundtrip", 32, |rng| {
+        let graph = random_graph(rng);
+        let feat = rng.random_range(1usize..6);
         let e = tensor_for(TensorType::Edge, &graph, feat, 2).unwrap();
         let m = tensor_for(TensorType::DstV, &graph, feat, 3).unwrap();
-        let sub = OpInfo::new(EdgeOp::Sub, GatherOp::CopyRhs, TensorType::Edge, TensorType::DstV, TensorType::Edge).unwrap();
-        let add = OpInfo::new(EdgeOp::Add, GatherOp::CopyRhs, TensorType::Edge, TensorType::DstV, TensorType::Edge).unwrap();
+        let sub = OpInfo::new(
+            EdgeOp::Sub,
+            GatherOp::CopyRhs,
+            TensorType::Edge,
+            TensorType::DstV,
+            TensorType::Edge,
+        )
+        .unwrap();
+        let add = OpInfo::new(
+            EdgeOp::Add,
+            GatherOp::CopyRhs,
+            TensorType::Edge,
+            TensorType::DstV,
+            TensorType::Edge,
+        )
+        .unwrap();
         let rt = Runtime::new(DeviceConfig::v100());
         let gt = GraphTensor::new(&graph);
         let p = Some(ParallelInfo::basic(Sched::WarpEdge));
-        let shifted = rt.run(&gt, &OpArgs::binary(sub, &e, &m), p).unwrap().output;
-        let restored = rt.run(&gt, &OpArgs::binary(add, &shifted, &m), p).unwrap().output;
-        prop_assert!(restored.approx_eq(&e, 1e-3).unwrap());
-    }
+        let shifted = rt
+            .run(&gt, &OpArgs::binary(sub, &e, &m), p)
+            .map_err(|e| e.to_string())?
+            .output;
+        let restored = rt
+            .run(&gt, &OpArgs::binary(add, &shifted, &m), p)
+            .map_err(|e| e.to_string())?
+            .output;
+        if restored.approx_eq(&e, 1e-3).unwrap() {
+            Ok(())
+        } else {
+            Err("(e - m) + m != e".to_string())
+        }
+    });
 }
