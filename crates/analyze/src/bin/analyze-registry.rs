@@ -1,0 +1,32 @@
+//! CI driver: sweep the full operator registry × strategies × knob
+//! variants through the static analyzer and the dynamic sim cross-check.
+//! Exits non-zero on any finding (atomic mismatch, legality or schedule
+//! lint, codegen lint, or a static↔dynamic disagreement).
+
+use std::process::ExitCode;
+
+use ugrapher_analyze::{analyze_registry, SweepConfig};
+use ugrapher_sim::DeviceConfig;
+
+fn main() -> ExitCode {
+    let cfg = SweepConfig::full();
+    let device = DeviceConfig::v100();
+    println!(
+        "analyze-registry: graph |V|={} |E|={} feat={} groupings={:?} tilings={:?}",
+        cfg.num_vertices, cfg.num_edges, cfg.feat, cfg.groupings, cfg.tilings
+    );
+    let report = analyze_registry(&device, &cfg);
+    println!(
+        "checked {} combinations: {} static race witnesses, {} dynamically confirmed",
+        report.combos_checked, report.static_witnesses, report.dynamic_conflicts
+    );
+    if report.is_clean() {
+        println!("analyze-registry: clean (0 findings)");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("analyze-registry: {} finding(s):", report.findings.len());
+    for finding in &report.findings {
+        eprintln!("  {finding}");
+    }
+    ExitCode::FAILURE
+}

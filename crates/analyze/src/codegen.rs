@@ -1,0 +1,195 @@
+//! The codegen lint pass: parses an emitted CUDA translation unit and
+//! checks it against the plan and the independently derived race verdict.
+//!
+//! The emitter in `ugrapher_core::codegen_cuda` is covered by its own
+//! structural tests; this pass exists for the other direction — auditing a
+//! source *string* (freshly emitted, stored on disk, or hand-edited)
+//! without trusting the plan that claims to describe it. Three properties
+//! are checked:
+//!
+//! * **no residual NULL loads** — after pass-1 fusion a `Null` operand must
+//!   not survive as a `0.0f` placeholder load in the kernel body;
+//! * **no unused operand buffers** — an operand the operator declares
+//!   (`A`/`B` non-`Null`) must actually be read by the kernel body; a
+//!   missing read means codegen dropped a load;
+//! * **atomics match the race verdict** — the body contains atomic update
+//!   statements (`atomicAdd` / the `atomicCAS` float-max loop) if and only
+//!   if the write-set race analysis says the schedule can race.
+
+use ugrapher_core::abstraction::TensorType;
+use ugrapher_core::analysis::race_verdict;
+use ugrapher_core::plan::KernelPlan;
+
+/// One codegen lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenFinding {
+    /// The kernel body still loads the `0.0f` placeholder of a `Null`
+    /// operand — pass-1 fusion should have removed the stage entirely.
+    ResidualNullLoad {
+        /// How many `0.0f` placeholder loads survived.
+        occurrences: usize,
+    },
+    /// The operator declares this operand, but the kernel body never
+    /// indexes its buffer.
+    UnusedOperandBuffer {
+        /// `"A"` or `"B"`.
+        operand: &'static str,
+    },
+    /// The body's atomic statements contradict the race verdict.
+    AtomicContradiction {
+        /// What the race analysis requires.
+        verdict_atomic: bool,
+        /// Whether the body contains atomic updates.
+        body_atomic: bool,
+    },
+    /// The source has no `__global__` kernel to lint.
+    MissingKernel,
+}
+
+impl std::fmt::Display for CodegenFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenFinding::ResidualNullLoad { occurrences } => write!(
+                f,
+                "{occurrences} residual NULL-operand load(s) (0.0f) survived fusion"
+            ),
+            CodegenFinding::UnusedOperandBuffer { operand } => write!(
+                f,
+                "operand buffer {operand} is declared by the operator but never read by the kernel"
+            ),
+            CodegenFinding::AtomicContradiction {
+                verdict_atomic,
+                body_atomic,
+            } => write!(
+                f,
+                "race verdict requires atomics={verdict_atomic} but kernel body has atomics={body_atomic}"
+            ),
+            CodegenFinding::MissingKernel => write!(f, "source contains no __global__ kernel"),
+        }
+    }
+}
+
+/// Lints a CUDA translation unit against `plan`. Returns every finding; an
+/// empty vector means the source is consistent with the plan and the race
+/// verdict.
+///
+/// Only the kernel body (everything after `__global__`) is inspected, so
+/// the header comment and the generated device function do not trigger
+/// false positives.
+pub fn lint_cuda(source: &str, plan: &KernelPlan) -> Vec<CodegenFinding> {
+    let mut findings = Vec::new();
+    let Some(body) = source.split("__global__").nth(1) else {
+        return vec![CodegenFinding::MissingKernel];
+    };
+
+    let occurrences = body.matches("0.0f").count();
+    if occurrences > 0 {
+        findings.push(CodegenFinding::ResidualNullLoad { occurrences });
+    }
+
+    for (operand, ttype) in [("A", plan.op.a), ("B", plan.op.b)] {
+        if ttype != TensorType::Null && !body.contains(&format!("{operand}[")) {
+            findings.push(CodegenFinding::UnusedOperandBuffer { operand });
+        }
+    }
+
+    let body_atomic = body.contains("atomicAdd(") || body.contains("atomicCAS(");
+    let verdict_atomic = race_verdict(&plan.op, &plan.parallel).needs_atomic;
+    if body_atomic != verdict_atomic {
+        findings.push(CodegenFinding::AtomicContradiction {
+            verdict_atomic,
+            body_atomic,
+        });
+    }
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrapher_core::abstraction::OpInfo;
+    use ugrapher_core::codegen_cuda::emit_cuda;
+    use ugrapher_core::schedule::{ParallelInfo, Strategy};
+
+    fn plan(op: OpInfo, p: ParallelInfo) -> KernelPlan {
+        KernelPlan::generate(op, p, 500, 2000, 16).unwrap()
+    }
+
+    #[test]
+    fn freshly_emitted_source_is_clean() {
+        for op in [
+            OpInfo::aggregation_sum(),
+            OpInfo::weighted_aggregation_sum(),
+            OpInfo::aggregation_max(),
+            OpInfo::message_creation_add(),
+        ] {
+            for strategy in Strategy::ALL {
+                let p = plan(op, ParallelInfo::basic(strategy));
+                let src = emit_cuda(&p).unwrap();
+                assert_eq!(lint_cuda(&src, &p), vec![], "{op:?} {strategy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stripped_atomics_are_flagged() {
+        let p = plan(
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+        );
+        let src = emit_cuda(&p).unwrap().replace("atomicAdd(", "plainAdd(");
+        let findings = lint_cuda(&src, &p);
+        assert!(findings.contains(&CodegenFinding::AtomicContradiction {
+            verdict_atomic: true,
+            body_atomic: false,
+        }));
+    }
+
+    #[test]
+    fn spurious_atomics_are_flagged() {
+        let p = plan(
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadVertex),
+        );
+        let src = emit_cuda(&p).unwrap().replace(
+            "C[(size_t)dst * FEAT + f] +=",
+            "atomicAdd(&C[(size_t)dst * FEAT + f],",
+        );
+        let findings = lint_cuda(&src, &p);
+        assert!(findings.contains(&CodegenFinding::AtomicContradiction {
+            verdict_atomic: false,
+            body_atomic: true,
+        }));
+    }
+
+    #[test]
+    fn dropped_operand_load_and_null_placeholder_are_flagged() {
+        let p = plan(
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+        );
+        // Simulate a codegen bug: the A load degraded to the NULL
+        // placeholder, so A is both unused and a residual 0.0f survives.
+        let src = emit_cuda(&p)
+            .unwrap()
+            .replace("A[(size_t)src * FEAT + f]", "0.0f");
+        let findings = lint_cuda(&src, &p);
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, CodegenFinding::ResidualNullLoad { .. })));
+        assert!(findings.contains(&CodegenFinding::UnusedOperandBuffer { operand: "A" }));
+    }
+
+    #[test]
+    fn sources_without_kernels_are_flagged() {
+        let p = plan(
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadVertex),
+        );
+        assert_eq!(
+            lint_cuda("// nothing here\n", &p),
+            vec![CodegenFinding::MissingKernel]
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! The dynamic cross-check: validate the static race verdict against the
+//! simulator's instrumented access stream.
+//!
+//! [`ugrapher_core::exec::collect_writes`] replays the schedule at full
+//! fidelity with the sim's write log enabled, recording every output store
+//! and atomic at word granularity. Because the tracer emits exactly one
+//! store per output element per owning work item, the observed log is a
+//! direct oracle for the static analysis:
+//!
+//! * a word written twice ⇔ two distinct work items share an output
+//!   element ⇔ the static witness search must have found a racing pair;
+//! * a contended word containing a non-atomic write is an unprotected
+//!   race — the verdict failed to require atomics the schedule needed.
+//!
+//! Any disagreement is an [`AnalyzeError::DynamicMismatch`].
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::exec::collect_writes;
+use ugrapher_core::plan::KernelPlan;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_graph::Graph;
+use ugrapher_sim::DeviceConfig;
+
+use crate::error::AnalyzeError;
+use crate::statics::RaceVerdict;
+
+/// The agreeing outcome of one static-vs-dynamic comparison.
+#[derive(Debug, Clone)]
+pub struct CrossCheck {
+    /// The static verdict (with its concrete-graph witness) that the trace
+    /// confirmed.
+    pub verdict: RaceVerdict,
+    /// Output words written by two or more work items.
+    pub contended: usize,
+    /// Distinct output words written at all.
+    pub words_written: usize,
+}
+
+impl CrossCheck {
+    /// `true` when the trace observed at least one multi-writer word.
+    pub fn observed_conflicts(&self) -> bool {
+        self.contended > 0
+    }
+}
+
+/// Cross-checks the static race verdict for one triple against a
+/// full-fidelity simulated execution (see module docs). Use a feature
+/// dimension that tiles evenly (a power of two) so the write-set is
+/// word-exact.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::Illegal`] when the triple is illegal and
+/// [`AnalyzeError::DynamicMismatch`] when the observed write-set refutes
+/// the static verdict.
+pub fn cross_check(
+    graph: &Graph,
+    op: OpInfo,
+    parallel: ParallelInfo,
+    feat: usize,
+    device: &DeviceConfig,
+) -> Result<CrossCheck, AnalyzeError> {
+    let plan = KernelPlan::generate(op, parallel, graph.num_vertices(), graph.num_edges(), feat)?;
+    cross_check_plan(graph, &plan, device)
+}
+
+/// [`cross_check`] for an already-built plan (the registry sweep reuses the
+/// plan from its static pass rather than regenerating it).
+///
+/// # Errors
+///
+/// Same contract as [`cross_check`].
+pub fn cross_check_plan(
+    graph: &Graph,
+    plan: &KernelPlan,
+    device: &DeviceConfig,
+) -> Result<CrossCheck, AnalyzeError> {
+    let verdict = RaceVerdict::derive(graph, &plan.op, &plan.parallel);
+    let log = collect_writes(graph, plan, device)?;
+    let contended = log.contended_addresses().len();
+    let unprotected = log.unprotected_addresses().len();
+    let agree = (contended > 0) == verdict.witness.is_some() && unprotected == 0;
+    if !agree {
+        return Err(AnalyzeError::DynamicMismatch {
+            op: plan.op,
+            schedule: plan.parallel,
+            static_witness: verdict.witness.is_some(),
+            contended,
+            unprotected,
+        });
+    }
+    Ok(CrossCheck {
+        verdict,
+        contended,
+        words_written: log.num_addresses(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrapher_core::schedule::Strategy;
+    use ugrapher_graph::generate::uniform_random;
+
+    #[test]
+    fn verdicts_confirmed_across_strategies() {
+        let g = uniform_random(150, 1200, 5); // mean degree 8
+        let d = DeviceConfig::v100();
+        for (strategy, expect_conflicts) in [
+            (Strategy::ThreadVertex, false),
+            (Strategy::WarpVertex, false),
+            (Strategy::ThreadEdge, true),
+            (Strategy::WarpEdge, true),
+        ] {
+            let cc = cross_check(
+                &g,
+                OpInfo::aggregation_sum(),
+                ParallelInfo::basic(strategy),
+                8,
+                &d,
+            )
+            .unwrap();
+            assert_eq!(cc.observed_conflicts(), expect_conflicts, "{strategy:?}");
+            assert_eq!(cc.verdict.witness.is_some(), expect_conflicts);
+        }
+    }
+
+    #[test]
+    fn whole_graph_grouping_has_no_conflicts_despite_atomic_verdict() {
+        // Grouping >= num_edges: one work item owns every edge, so the
+        // shape-generic verdict stays atomic but no witness exists and the
+        // trace must observe zero contention.
+        let g = uniform_random(40, 50, 6);
+        let cc = cross_check(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo::new(Strategy::ThreadEdge, 64, 1),
+            8,
+            &DeviceConfig::v100(),
+        )
+        .unwrap();
+        assert!(cc.verdict.needs_atomic);
+        assert!(cc.verdict.witness.is_none());
+        assert!(!cc.observed_conflicts());
+    }
+
+    #[test]
+    fn edge_outputs_write_every_word_once() {
+        let g = uniform_random(100, 800, 7);
+        let cc = cross_check(
+            &g,
+            OpInfo::message_creation_add(),
+            ParallelInfo::basic(Strategy::WarpEdge),
+            8,
+            &DeviceConfig::v100(),
+        )
+        .unwrap();
+        assert!(!cc.verdict.needs_atomic);
+        assert_eq!(cc.contended, 0);
+        assert_eq!(cc.words_written, g.num_edges() * 8);
+    }
+}

@@ -1,0 +1,122 @@
+//! The analyzer's typed failure modes.
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_core::CoreError;
+
+use crate::codegen::CodegenFinding;
+
+/// A hard analysis failure: the triple is illegal, the plan disagrees with
+/// the independent race analysis, the emitted source contradicts it, or the
+/// dynamic write-set trace refutes the static verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyzeError {
+    /// The plan's recorded `needs_atomic` flag disagrees with the race
+    /// verdict the analyzer derived independently from the write-set model.
+    AtomicMismatch {
+        /// The operator under analysis.
+        op: OpInfo,
+        /// The schedule under analysis.
+        schedule: ParallelInfo,
+        /// What the plan recorded.
+        plan_atomic: bool,
+        /// What the analyzer derived.
+        derived_atomic: bool,
+        /// The derivation behind the analyzer's verdict.
+        reason: String,
+    },
+    /// The `(operator, schedule, graph-shape)` triple failed the legality
+    /// gate (illegal operator, zero schedule knob, empty feature dim) or
+    /// plan generation / code emission rejected it.
+    Illegal {
+        /// The underlying core error.
+        source: CoreError,
+    },
+    /// The emitted CUDA source contradicts the analysis (residual NULL
+    /// loads, missing operand reads, atomics that contradict the verdict).
+    Codegen {
+        /// The operator whose kernel was linted.
+        op: OpInfo,
+        /// The schedule whose template was linted.
+        schedule: ParallelInfo,
+        /// Every finding, in source order.
+        findings: Vec<CodegenFinding>,
+    },
+    /// The simulated write-set trace disagrees with the static verdict:
+    /// either conflicts appeared where the witness analysis proved none can,
+    /// a predicted witness produced no observed conflict, or a contended
+    /// word carried a non-atomic write.
+    DynamicMismatch {
+        /// The operator under test.
+        op: OpInfo,
+        /// The schedule under test.
+        schedule: ParallelInfo,
+        /// Whether the static analysis produced a concrete race witness.
+        static_witness: bool,
+        /// Output words written by two or more work items.
+        contended: usize,
+        /// Contended words with at least one non-atomic write.
+        unprotected: usize,
+    },
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::AtomicMismatch {
+                op,
+                schedule,
+                plan_atomic,
+                derived_atomic,
+                reason,
+            } => write!(
+                f,
+                "atomic mismatch for {op:?} under {schedule}: plan says needs_atomic={plan_atomic}, \
+                 write-set analysis derives {derived_atomic} ({reason})"
+            ),
+            AnalyzeError::Illegal { source } => write!(f, "illegal analysis input: {source}"),
+            AnalyzeError::Codegen {
+                op,
+                schedule,
+                findings,
+            } => {
+                write!(
+                    f,
+                    "codegen lint failed for {op:?} under {schedule}: {} finding(s):",
+                    findings.len()
+                )?;
+                for finding in findings {
+                    write!(f, " [{finding}]")?;
+                }
+                Ok(())
+            }
+            AnalyzeError::DynamicMismatch {
+                op,
+                schedule,
+                static_witness,
+                contended,
+                unprotected,
+            } => write!(
+                f,
+                "dynamic cross-check failed for {op:?} under {schedule}: static witness={}, \
+                 observed {contended} contended word(s), {unprotected} unprotected",
+                if *static_witness { "yes" } else { "none" },
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalyzeError::Illegal { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for AnalyzeError {
+    fn from(source: CoreError) -> Self {
+        AnalyzeError::Illegal { source }
+    }
+}

@@ -1,0 +1,71 @@
+//! # ugrapher-analyze
+//!
+//! A static analyzer for uGrapher `(operator, schedule, graph-shape)`
+//! triples, with a dynamic cross-check against the GPU simulator's
+//! instrumented access stream. Three analysis passes:
+//!
+//! * **race detection** ([`statics::analyze_static`], [`RaceVerdict`]) —
+//!   symbolically derives the output write-set per parallel work item
+//!   (Table 4 tensor types decide whether the output index is
+//!   per-destination or per-edge) and decides whether two work items can
+//!   write the same element; on a concrete graph it also produces a
+//!   [`RaceWitness`] — two work items and the row they share. The verdict
+//!   must agree with [`KernelPlan::needs_atomic`]; divergence is
+//!   [`AnalyzeError::AtomicMismatch`].
+//! * **schedule legality** — the shared legality gate
+//!   ([`ugrapher_core::analysis::check_context`]) plus warning-level
+//!   [`ScheduleLint`]s (clamped tiling, degenerate grouping).
+//! * **codegen lint** ([`codegen::lint_cuda`]) — parses the emitted CUDA
+//!   translation unit and flags residual NULL-operand loads after fusion,
+//!   operand buffers the kernel never reads, and atomic statements that
+//!   contradict the race verdict.
+//!
+//! The **dynamic cross-check** ([`dynamic::cross_check`]) replays the
+//! schedule through `ugrapher-sim` with its word-granular write log
+//! enabled and verifies that contended output words appear exactly when
+//! the static witness analysis predicts a race — and that every contended
+//! word is atomically updated.
+//!
+//! [`sweep::analyze_registry`] runs all of the above over the paper's full
+//! operator registry under all four parallelization strategies and a set
+//! of grouping/tiling variants; the `analyze-registry` binary wires it
+//! into CI (non-zero exit on any finding).
+//!
+//! # Example
+//!
+//! ```
+//! use ugrapher_analyze::{analyze_static, cross_check};
+//! use ugrapher_core::abstraction::OpInfo;
+//! use ugrapher_core::schedule::{ParallelInfo, Strategy};
+//! use ugrapher_graph::generate::uniform_random;
+//! use ugrapher_sim::DeviceConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let g = uniform_random(100, 800, 1);
+//! let op = OpInfo::aggregation_sum();
+//! let schedule = ParallelInfo::basic(Strategy::ThreadEdge);
+//! let report = analyze_static(&g, op, schedule, 8)?;
+//! assert!(report.race.needs_atomic);
+//! assert!(report.race.witness.is_some(), "two items share a destination");
+//! // The simulated write-set confirms the verdict.
+//! let cc = cross_check(&g, op, schedule, 8, &DeviceConfig::v100())?;
+//! assert!(cc.observed_conflicts());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`KernelPlan::needs_atomic`]: ugrapher_core::plan::KernelPlan::needs_atomic
+//! [`ScheduleLint`]: ugrapher_core::analysis::ScheduleLint
+//! [`RaceWitness`]: ugrapher_core::analysis::RaceWitness
+
+pub mod codegen;
+pub mod dynamic;
+mod error;
+pub mod statics;
+pub mod sweep;
+
+pub use codegen::{lint_cuda, CodegenFinding};
+pub use dynamic::{cross_check, cross_check_plan, CrossCheck};
+pub use error::AnalyzeError;
+pub use statics::{analyze_static, audit_plan, RaceVerdict, StaticReport};
+pub use sweep::{analyze_registry, SweepConfig, SweepFinding, SweepReport};

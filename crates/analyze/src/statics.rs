@@ -1,0 +1,227 @@
+//! The static analysis pass: race verdict with a concrete witness,
+//! legality gate, schedule lints and codegen lint for one
+//! `(operator, schedule, graph-shape)` triple.
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::analysis::{self, RaceWitness, ScheduleLint};
+use ugrapher_core::codegen_cuda::emit_cuda;
+use ugrapher_core::plan::KernelPlan;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_graph::Graph;
+
+use crate::codegen::{lint_cuda, CodegenFinding};
+use crate::error::AnalyzeError;
+
+/// The analyzer's race verdict: the shape-generic atomic requirement plus,
+/// when the schedule can race, two concrete work items of the given graph
+/// that write the same output row (or `None` when this particular graph
+/// cannot exhibit the race — e.g. the grouping is so large that one item
+/// owns every edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceVerdict {
+    /// Two parallel work items can write the same output element; the
+    /// kernel must use atomic updates.
+    pub needs_atomic: bool,
+    /// Human-readable derivation of the verdict.
+    pub reason: &'static str,
+    /// A concrete pair of racing work items on the analyzed graph, when
+    /// one exists.
+    pub witness: Option<RaceWitness>,
+}
+
+impl RaceVerdict {
+    /// Derives the verdict and searches the graph for a witness.
+    pub fn derive(graph: &Graph, op: &OpInfo, parallel: &ParallelInfo) -> Self {
+        let v = analysis::race_verdict(op, parallel);
+        RaceVerdict {
+            needs_atomic: v.needs_atomic,
+            reason: v.reason,
+            witness: analysis::race_witness(graph, op, parallel),
+        }
+    }
+}
+
+/// Everything the static pass derives about one triple.
+#[derive(Debug, Clone)]
+pub struct StaticReport {
+    /// The generated (or audited) kernel plan.
+    pub plan: KernelPlan,
+    /// The race verdict with its concrete-graph witness.
+    pub race: RaceVerdict,
+    /// Warning-level schedule findings (clamped tiling, degenerate
+    /// grouping); legal but wasteful.
+    pub schedule_lints: Vec<ScheduleLint>,
+    /// Codegen lint findings on the emitted CUDA source.
+    pub codegen: Vec<CodegenFinding>,
+    /// The emitted CUDA translation unit that was linted.
+    pub cuda: String,
+}
+
+impl StaticReport {
+    /// `true` when no lint fired; the race verdict itself (atomic or not)
+    /// is a property, not a finding.
+    pub fn is_clean(&self) -> bool {
+        self.schedule_lints.is_empty() && self.codegen.is_empty()
+    }
+
+    /// Converts lint findings into a hard error (used by CI, which fails
+    /// on any finding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::Codegen`] if any codegen lint fired.
+    pub fn expect_clean_codegen(&self) -> Result<(), AnalyzeError> {
+        if self.codegen.is_empty() {
+            Ok(())
+        } else {
+            Err(AnalyzeError::Codegen {
+                op: self.plan.op,
+                schedule: self.plan.parallel,
+                findings: self.codegen.clone(),
+            })
+        }
+    }
+}
+
+/// Statically analyzes an `(operator, schedule, graph-shape)` triple
+/// *before* execution: legality gate, plan generation, independent race
+/// verdict (checked against the plan's `needs_atomic`), schedule lints,
+/// and the codegen lint over the emitted CUDA.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::Illegal`] when the triple fails the legality
+/// gate and [`AnalyzeError::AtomicMismatch`] when plan generation and the
+/// write-set analysis disagree.
+pub fn analyze_static(
+    graph: &Graph,
+    op: OpInfo,
+    parallel: ParallelInfo,
+    feat: usize,
+) -> Result<StaticReport, AnalyzeError> {
+    analysis::check_context(&op, &parallel, feat)?;
+    let plan = KernelPlan::generate(op, parallel, graph.num_vertices(), graph.num_edges(), feat)?;
+    audit_plan(graph, &plan)
+}
+
+/// Audits an already-built [`KernelPlan`] against the independent race
+/// analysis — the entry point for plans that did not come out of
+/// [`KernelPlan::generate`] moments ago (deserialized, cached, or mutated).
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError::AtomicMismatch`] when the plan's recorded
+/// `needs_atomic` disagrees with the derived verdict, and
+/// [`AnalyzeError::Illegal`] when code emission rejects the plan.
+pub fn audit_plan(graph: &Graph, plan: &KernelPlan) -> Result<StaticReport, AnalyzeError> {
+    let race = RaceVerdict::derive(graph, &plan.op, &plan.parallel);
+    if plan.needs_atomic != race.needs_atomic {
+        return Err(AnalyzeError::AtomicMismatch {
+            op: plan.op,
+            schedule: plan.parallel,
+            plan_atomic: plan.needs_atomic,
+            derived_atomic: race.needs_atomic,
+            reason: race.reason.to_owned(),
+        });
+    }
+    let schedule_lints = analysis::lint_schedule(
+        &plan.op,
+        &plan.parallel,
+        plan.feat,
+        graph.num_vertices(),
+        graph.num_edges(),
+    );
+    let cuda = emit_cuda(plan)?;
+    let codegen = lint_cuda(&cuda, plan);
+    Ok(StaticReport {
+        plan: plan.clone(),
+        race,
+        schedule_lints,
+        codegen,
+        cuda,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrapher_core::schedule::Strategy;
+    use ugrapher_core::CoreError;
+    use ugrapher_graph::generate::uniform_random;
+
+    #[test]
+    fn clean_triple_produces_clean_report() {
+        let g = uniform_random(200, 1600, 1);
+        let rep = analyze_static(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+            8,
+        )
+        .unwrap();
+        assert!(rep.is_clean());
+        assert!(rep.race.needs_atomic);
+        assert!(rep.race.witness.is_some(), "dense graph must witness");
+        assert!(rep.plan.needs_atomic);
+        rep.expect_clean_codegen().unwrap();
+    }
+
+    #[test]
+    fn mutated_plan_is_an_atomic_mismatch() {
+        let g = uniform_random(200, 1600, 2);
+        let mut plan = KernelPlan::generate(
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+            g.num_vertices(),
+            g.num_edges(),
+            8,
+        )
+        .unwrap();
+        plan.needs_atomic = false;
+        match audit_plan(&g, &plan) {
+            Err(AnalyzeError::AtomicMismatch {
+                plan_atomic: false,
+                derived_atomic: true,
+                ..
+            }) => {}
+            other => panic!("expected AtomicMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn illegal_triples_are_typed_errors() {
+        let g = uniform_random(100, 400, 3);
+        let err = analyze_static(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo {
+                strategy: Strategy::ThreadEdge,
+                grouping: 0,
+                tiling: 1,
+            },
+            8,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalyzeError::Illegal {
+                source: CoreError::InvalidSchedule { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn degenerate_knobs_surface_as_schedule_lints() {
+        let g = uniform_random(40, 50, 4);
+        let rep = analyze_static(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo::new(Strategy::ThreadEdge, 64, 64),
+            8,
+        )
+        .unwrap();
+        assert!(!rep.is_clean());
+        assert_eq!(rep.schedule_lints.len(), 2, "{:?}", rep.schedule_lints);
+        assert!(rep.codegen.is_empty(), "codegen itself is consistent");
+    }
+}

@@ -1,0 +1,179 @@
+//! The registry sweep: run the full analysis — static pass plus dynamic
+//! cross-check — over every legal Table 4 operator under all four
+//! parallelization strategies and a set of grouping/tiling variants.
+//!
+//! This is the CI driver behind `analyze-registry`: a clean sweep proves
+//! that the static race verdicts agree with sim-trace write-sets on the
+//! whole operator space, and that no schedule or codegen lint fires on any
+//! combination the tuner would legitimately propose.
+
+use ugrapher_core::abstraction::{registry, OpInfo};
+use ugrapher_core::schedule::{ParallelInfo, Strategy};
+use ugrapher_graph::generate::uniform_random;
+use ugrapher_graph::Graph;
+use ugrapher_sim::DeviceConfig;
+
+use crate::dynamic::cross_check_plan;
+use crate::statics::analyze_static;
+
+/// Shape of the sweep: the synthetic graph the analyses run on and the
+/// schedule-knob variants each operator × strategy is checked under.
+///
+/// The feature dimension must be a power of two so every tiling knob
+/// divides it evenly and the dynamic write-set is word-exact (see
+/// [`ugrapher_core::exec::collect_writes`]).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Vertices of the synthetic graph.
+    pub num_vertices: usize,
+    /// Edges of the synthetic graph.
+    pub num_edges: usize,
+    /// Generator seed (the sweep is fully deterministic).
+    pub seed: u64,
+    /// Feature dimension (power of two).
+    pub feat: usize,
+    /// V/E grouping knob variants.
+    pub groupings: Vec<usize>,
+    /// Feature tiling knob variants.
+    pub tilings: Vec<usize>,
+}
+
+impl SweepConfig {
+    /// The CI configuration: a graph dense enough that every racing
+    /// schedule has a witness, with grouping/tiling variants spanning the
+    /// knob range without triggering degenerate-knob lints.
+    pub fn full() -> Self {
+        SweepConfig {
+            num_vertices: 300,
+            num_edges: 2400,
+            seed: 11,
+            feat: 8,
+            groupings: vec![1, 4, 64],
+            tilings: vec![1, 2, 8],
+        }
+    }
+
+    /// A reduced configuration for test suites: same operator × strategy
+    /// coverage, smaller graph and fewer knob variants.
+    pub fn quick() -> Self {
+        SweepConfig {
+            num_vertices: 40,
+            num_edges: 200,
+            seed: 7,
+            feat: 4,
+            groupings: vec![1, 8],
+            tilings: vec![1, 4],
+        }
+    }
+
+    /// The synthetic graph this configuration analyzes.
+    pub fn graph(&self) -> Graph {
+        uniform_random(self.num_vertices, self.num_edges, self.seed)
+    }
+}
+
+/// One failed combination of the sweep.
+#[derive(Debug, Clone)]
+pub struct SweepFinding {
+    /// The operator that failed.
+    pub op: OpInfo,
+    /// The schedule that failed.
+    pub schedule: ParallelInfo,
+    /// What went wrong (analysis error or lint text).
+    pub detail: String,
+}
+
+impl std::fmt::Display for SweepFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?} under {}: {}", self.op, self.schedule, self.detail)
+    }
+}
+
+/// The outcome of one registry sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Combinations analyzed (operators × strategies × knob variants).
+    pub combos_checked: usize,
+    /// Combinations whose static analysis found a concrete race witness.
+    pub static_witnesses: usize,
+    /// Combinations whose simulated trace observed contended words.
+    pub dynamic_conflicts: usize,
+    /// Every failure: atomic mismatches, legality findings, codegen lints,
+    /// dynamic mismatches.
+    pub findings: Vec<SweepFinding>,
+}
+
+impl SweepReport {
+    /// `true` when no combination produced a finding.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Sweeps the full operator registry × [`Strategy::ALL`] × knob variants,
+/// running the static pass and the dynamic cross-check on each combination
+/// and collecting every finding.
+pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport {
+    let graph = cfg.graph();
+    let mut report = SweepReport::default();
+    for op in registry::all_valid_ops() {
+        for strategy in Strategy::ALL {
+            for &grouping in &cfg.groupings {
+                for &tiling in &cfg.tilings {
+                    let parallel = ParallelInfo::new(strategy, grouping, tiling);
+                    report.combos_checked += 1;
+                    let fail = |detail: String| SweepFinding {
+                        op,
+                        schedule: parallel,
+                        detail,
+                    };
+                    let stat = match analyze_static(&graph, op, parallel, cfg.feat) {
+                        Ok(stat) => stat,
+                        Err(e) => {
+                            report.findings.push(fail(e.to_string()));
+                            continue;
+                        }
+                    };
+                    for lint in &stat.schedule_lints {
+                        report.findings.push(fail(format!("schedule lint: {lint}")));
+                    }
+                    for finding in &stat.codegen {
+                        report
+                            .findings
+                            .push(fail(format!("codegen lint: {finding}")));
+                    }
+                    if stat.race.witness.is_some() {
+                        report.static_witnesses += 1;
+                    }
+                    match cross_check_plan(&graph, &stat.plan, device) {
+                        Ok(cc) => {
+                            if cc.observed_conflicts() {
+                                report.dynamic_conflicts += 1;
+                            }
+                        }
+                        Err(e) => report.findings.push(fail(e.to_string())),
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_configs_avoid_degenerate_knobs() {
+        for cfg in [SweepConfig::full(), SweepConfig::quick()] {
+            assert!(cfg.feat.is_power_of_two());
+            for &t in &cfg.tilings {
+                assert!(t <= cfg.feat, "tiling {t} would clamp against {}", cfg.feat);
+            }
+            for &g in &cfg.groupings {
+                assert!(g < cfg.num_vertices && g < cfg.num_edges);
+            }
+        }
+    }
+}

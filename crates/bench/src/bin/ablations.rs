@@ -9,6 +9,9 @@
 //! 3. **L2 capacity** — V100 with the A100's 40 MB L2: locality-driven
 //!    strategy differences between the GPUs shrink (Table 9 discussion).
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::{Fidelity, MeasureOptions};

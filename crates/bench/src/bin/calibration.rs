@@ -2,6 +2,9 @@
 //! on both device models (DESIGN.md §2's credibility check for the GPU
 //! substitution).
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::print_table;
 use ugrapher_sim::calibrate::calibrate;
 use ugrapher_sim::DeviceConfig;

@@ -6,6 +6,9 @@
 //!
 //! Reuses the cached Fig. 13 sweep.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::print_table;
 use ugrapher_bench::sweep::sweep_cached;
 

@@ -8,6 +8,9 @@
 //! All runs use the DGL backend's fixed strategy for aggregations
 //! (warp-vertex) at full trace fidelity.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_baselines::DglBackend;
 use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;

@@ -2,6 +2,9 @@
 //! datasets and feature sizes (8 vs 16). Prints normalized execution time
 //! (1.0 = fastest per dataset), as the paper's bars.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{eval_datasets, print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::{Fidelity, MeasureOptions};

@@ -5,6 +5,9 @@
 //! optimum for GCN L1's weighted aggregation on each dataset. The paper's
 //! claim: the predictor achieves performance close to grid search.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use ugrapher_bench::{eval_datasets, print_table, quick, save_json, scale};

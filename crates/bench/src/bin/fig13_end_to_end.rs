@@ -6,6 +6,9 @@
 //! Results are cached in `results/sweep.json` for the Figs. 1/14/15
 //! aggregation binaries.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::sweep::sweep_cached;
 use ugrapher_bench::{geomean, print_table};
 

@@ -5,6 +5,9 @@
 //! datasets; the A100 shows higher uGrapher speedups than the V100 because
 //! its tensor-core GEMMs shrink the dense share of total time.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::sweep::sweep_cached;
 use ugrapher_bench::{geomean, print_table};
 

@@ -3,6 +3,9 @@
 //! dataset. The paper's claim: uGrapher improves all three over the
 //! baselines' fixed kernels.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_baselines::{DglBackend, PygBackend};
 use ugrapher_bench::{eval_datasets, load, print_table};
 use ugrapher_gnn::{

@@ -3,6 +3,9 @@
 //! Values are normalized time (optimum = 1.0); the paper shows large gaps,
 //! motivating the fine-grained knobs.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{eval_datasets, print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::{Fidelity, MeasureOptions};

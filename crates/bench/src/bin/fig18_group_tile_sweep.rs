@@ -3,6 +3,9 @@
 //! on TWITTER-Partial, V100. Shows that the knobs' effect depends on the
 //! strategy, so they must be co-tuned.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::api::Runtime;

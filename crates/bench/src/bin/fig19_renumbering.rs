@@ -4,6 +4,9 @@
 //! Paper claim: renumbering helps all systems (it is orthogonal to
 //! scheduling), and uGrapher keeps its advantage either way.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{backends, eval_datasets, geomean, load, print_table};
 use ugrapher_gnn::{run_inference, ModelConfig, ModelKind};
 use ugrapher_graph::datasets::by_abbrev;

@@ -1,6 +1,9 @@
 //! §7.4 overhead analysis: one schedule prediction must cost well under
 //! 0.2 ms, so running it once before inference is negligible.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use ugrapher_core::abstraction::OpInfo;

@@ -5,6 +5,9 @@
 //! census per category — the same qualitative shape: fused aggregation
 //! dominates, all three categories populated.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::print_table;
 use ugrapher_core::abstraction::{registry, OpCategory, TensorType};
 

@@ -2,6 +2,9 @@
 //! `(edge_op, gather_op, A, B, C)` combination, grouped as the paper's
 //! table rows.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::BTreeMap;
 
 use ugrapher_bench::print_table;

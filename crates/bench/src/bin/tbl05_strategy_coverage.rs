@@ -2,6 +2,9 @@
 //! each system, derived programmatically from the backends' actual
 //! dispatch logic rather than restated by hand.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::collections::BTreeSet;
 
 use ugrapher_baselines::{DglBackend, GnnAdvisorBackend};

@@ -6,6 +6,9 @@
 //! achieved occupancy, work-efficiency → inverse of (compute cycles +
 //! atomic ops) per edge.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::api::Runtime;

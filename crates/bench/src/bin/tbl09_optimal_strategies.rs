@@ -7,6 +7,9 @@
 //! parallelism); the two GPUs agree on strategy more often than on the
 //! fine-grained knobs.
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_bench::{eval_datasets, print_table, save_json, scale};
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::{Fidelity, MeasureOptions};

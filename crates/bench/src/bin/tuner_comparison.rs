@@ -3,6 +3,9 @@
 //! buys (§5.4 motivates the predictor by grid search's cost; this shows
 //! the quality/cost frontier of the alternatives).
 
+// Benchmark driver: exiting on a broken invariant is the right behaviour.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use ugrapher_bench::{eval_datasets, print_table, scale};

@@ -349,7 +349,14 @@ impl OpInfo {
                     return fail("vertex outputs require a reduction gather op");
                 }
             }
-            _ => unreachable!("C restricted above"),
+            // Null/SrcV already rejected above; a typed error instead of
+            // unreachable! keeps validation panic-free even if that
+            // restriction ever changes.
+            other => {
+                return Err(CoreError::Internal {
+                    reason: format!("operator validation fell through on output type {other:?}"),
+                })
+            }
         }
         Ok(())
     }

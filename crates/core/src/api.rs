@@ -332,7 +332,22 @@ impl Runtime {
         let scalars = (scalar(args.operands.a), scalar(args.operands.b));
         let mut robustness = RobustnessReport::new();
         let schedule = match parallel {
-            Some(p) => p.validated()?,
+            Some(p) => {
+                let p = p.validated()?;
+                // Explicit schedules are honoured as given, but degenerate
+                // knobs (clamped tiling, single-item grouping) are surfaced
+                // in the robustness report rather than silently absorbed.
+                for lint in crate::analysis::lint_schedule(
+                    &args.op,
+                    &p,
+                    feat,
+                    graph.graph().num_vertices(),
+                    graph.graph().num_edges(),
+                ) {
+                    robustness.record("schedule-lint", "executed as requested", lint.to_string());
+                }
+                p
+            }
             None => self.choose_with_fallback(graph, &args.op, feat, scalars, &mut robustness)?,
         };
         let plan = KernelPlan::generate(
@@ -643,5 +658,40 @@ mod tests {
         assert_eq!(res.schedule, ParallelInfo::basic(Strategy::ThreadVertex));
         assert!(res.robustness.degraded());
         assert_eq!(res.robustness.downgrades[0].stage, "grid-search");
+    }
+
+    #[test]
+    fn explicit_degenerate_schedule_is_linted_in_robustness_report() {
+        let g = uniform_random(40, 50, 12);
+        let x = Tensor2::full(40, 4, 1.0);
+        let rt = Runtime::new(DeviceConfig::v100());
+        // Tiling 64 clamps against feat 4; grouping 64 >= 50 edges.
+        let res = rt
+            .run(
+                &GraphTensor::new(&g),
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                Some(ParallelInfo::new(Strategy::ThreadEdge, 64, 64)),
+            )
+            .unwrap();
+        assert!(res.robustness.degraded());
+        assert_eq!(res.robustness.downgrades.len(), 2);
+        assert!(res
+            .robustness
+            .downgrades
+            .iter()
+            .all(|d| d.stage == "schedule-lint"));
+        // The schedule is still executed as requested, correctly.
+        for v in 0..40 {
+            assert_eq!(res.output[(v, 0)], g.in_degree(v) as f32);
+        }
+        // A clean explicit schedule records nothing.
+        let clean = rt
+            .run(
+                &GraphTensor::new(&g),
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                Some(ParallelInfo::basic(Strategy::ThreadEdge)),
+            )
+            .unwrap();
+        assert!(!clean.robustness.degraded());
     }
 }

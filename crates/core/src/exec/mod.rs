@@ -14,4 +14,4 @@ pub mod functional;
 pub mod trace;
 
 pub use functional::{execute, OpOperands};
-pub use trace::{measure, Fidelity, MeasureOptions};
+pub use trace::{collect_writes, measure, Fidelity, MeasureOptions};

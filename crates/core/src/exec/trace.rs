@@ -313,13 +313,56 @@ pub fn measure(graph: &Graph, plan: &KernelPlan, options: &MeasureOptions) -> Si
         stride,
         warp_stride,
     };
-    match plan.parallel.strategy {
-        Strategy::ThreadVertex => tracer.thread_vertex(&mut sim),
-        Strategy::ThreadEdge => tracer.thread_edge(&mut sim),
-        Strategy::WarpVertex => tracer.warp_vertex(&mut sim),
-        Strategy::WarpEdge => tracer.warp_edge(&mut sim),
-    }
+    tracer.run(&mut sim);
     sim.finish()
+}
+
+/// Replays `plan`'s schedule over `graph` at **full fidelity** with the
+/// simulator's write log enabled, returning the word-granular write-set of
+/// the kernel's output stores and atomics.
+///
+/// This is the dynamic side of the race cross-check (`ugrapher-analyze`):
+/// the tracer emits exactly one store/atomic per output element per owning
+/// work item — edge-parallel reductions accumulate same-destination runs
+/// in registers and flush once per run, vertex strategies flush each owned
+/// row once per tile, and feature tiles write disjoint word ranges — so an
+/// output word logged twice was written by two distinct work items.
+/// Sampling is never used here: a thinned trace would under-count writers.
+///
+/// Word-exactness caveat: warps whose lanes sit in different feature tiles
+/// issue one instruction sized by the first lane's tile length, so a
+/// *ragged* last tile (`feat % tile_size != 0`) can over-approximate the
+/// write-set by a few spilled words. Callers comparing against the static
+/// verdict should use feature dimensions that tile evenly (any power of
+/// two against the power-of-two knob values).
+///
+/// # Errors
+///
+/// Returns [`CoreError`](crate::CoreError) if the device configuration is
+/// invalid.
+pub fn collect_writes(
+    graph: &Graph,
+    plan: &KernelPlan,
+    device: &DeviceConfig,
+) -> Result<ugrapher_sim::WriteLog, crate::CoreError> {
+    device.validate()?;
+    let launch =
+        LaunchConfig::new(plan.grid_blocks, plan.threads_per_block).with_regs(plan.regs_per_thread);
+    let mut sim = KernelSim::new(device, launch);
+    sim.enable_write_log()?;
+    let lay = Layout::build(graph, plan);
+    let tracer = Tracer {
+        graph,
+        plan,
+        lay,
+        stride: 1,
+        warp_stride: 1,
+    };
+    tracer.run(&mut sim);
+    let (_report, log) = sim.finish_with_writes();
+    log.ok_or_else(|| crate::CoreError::Internal {
+        reason: "write log enabled but absent at finish".to_owned(),
+    })
 }
 
 /// One lane's iteration state in a thread-per-item strategy.
@@ -347,6 +390,16 @@ struct Tracer<'a> {
 }
 
 impl Tracer<'_> {
+    /// Walks the plan's loop structure, dispatching on the strategy.
+    fn run(&self, sim: &mut KernelSim) {
+        match self.plan.parallel.strategy {
+            Strategy::ThreadVertex => self.thread_vertex(sim),
+            Strategy::ThreadEdge => self.thread_edge(sim),
+            Strategy::WarpVertex => self.warp_vertex(sim),
+            Strategy::WarpEdge => self.warp_edge(sim),
+        }
+    }
+
     fn decode_item(&self, item: usize) -> (usize, usize) {
         // item = tile * num_groups + group, so consecutive items are
         // consecutive groups of the same tile (coalesced-friendly).
@@ -1258,6 +1311,50 @@ mod tests {
         // Even absurdly heavy plans keep >= 32 traced blocks.
         let (bs, _) = resolve_sampling(Fidelity::Auto, 64, 8, 1e9, 80);
         assert!(64usize.div_ceil(bs) >= 32);
+    }
+
+    #[test]
+    fn write_log_matches_atomic_analysis() {
+        let g = uniform_random(300, 2400, 11); // mean degree 8
+        let d = DeviceConfig::v100();
+        let agg = OpInfo::aggregation_sum();
+        // Vertex-parallel: every output word has exactly one writer.
+        let tv = collect_writes(
+            &g,
+            &plan_for(&g, agg, ParallelInfo::basic(Strategy::ThreadVertex), 8),
+            &d,
+        )
+        .unwrap();
+        assert!(!tv.has_conflicts(), "thread-vertex must not contend");
+        // Edge-parallel reduction: destinations shared across items
+        // contend, but every write is atomic (protected).
+        let te = collect_writes(
+            &g,
+            &plan_for(&g, agg, ParallelInfo::basic(Strategy::ThreadEdge), 8),
+            &d,
+        )
+        .unwrap();
+        assert!(te.has_conflicts(), "thread-edge reduction must contend");
+        assert!(
+            te.unprotected_addresses().is_empty(),
+            "contended words must be atomic-only"
+        );
+    }
+
+    #[test]
+    fn write_log_edge_outputs_have_single_writers() {
+        let g = uniform_random(200, 1600, 12);
+        let d = DeviceConfig::v100();
+        for p in ParallelInfo::basics() {
+            let log = collect_writes(&g, &plan_for(&g, OpInfo::message_creation_add(), p, 8), &d)
+                .unwrap();
+            assert!(!log.has_conflicts(), "{p}: per-edge rows are exclusive");
+            assert_eq!(
+                log.num_addresses(),
+                g.num_edges() * 8,
+                "{p}: every output word written"
+            );
+        }
     }
 
     use ugrapher_graph::Graph;

@@ -15,6 +15,10 @@
 //!   tiling, combined in [`schedule::ParallelInfo`].
 //! * [`plan`] — the two "code generation" passes of paper §5.2 (NULL-op
 //!   fusion and atomic-requirement analysis) producing a [`plan::KernelPlan`].
+//! * [`analysis`] — the shared static analysis behind pass 2: the
+//!   write-set race verdict, concrete-graph race witnesses, and the single
+//!   legality gate used by planning and tuning (extended by the
+//!   `ugrapher-analyze` crate into a standalone analyzer).
 //! * [`exec`] — the executor: functional evaluation of any operator
 //!   (schedule-independent results) and schedule-faithful trace generation
 //!   driving the `ugrapher-sim` GPU model.
@@ -47,6 +51,7 @@
 //! ```
 
 pub mod abstraction;
+pub mod analysis;
 pub mod api;
 pub mod codegen_cuda;
 mod costs;

@@ -14,6 +14,7 @@
 //! occupancy model.
 
 use crate::abstraction::{OpInfo, TensorType};
+use crate::analysis;
 use crate::costs;
 use crate::schedule::ParallelInfo;
 use crate::CoreError;
@@ -72,24 +73,16 @@ impl KernelPlan {
         num_edges: usize,
         feat: usize,
     ) -> Result<Self, CoreError> {
-        op.validate()?;
-        parallel.validate()?;
-        if feat == 0 {
-            return Err(CoreError::FeatureMismatch {
-                expected: 1,
-                found: 0,
-            });
-        }
+        analysis::check_context(&op, &parallel, feat)?;
 
         // Pass 1: fusion of NULL (copy) stages.
         let fused_edge = op.edge_op.is_copy();
         let fused_gather = !op.gather_op.is_reduction();
 
-        // Pass 2: atomic-requirement analysis. Only a reduction into a
-        // vertex tensor that is parallelized over edges can race.
-        let needs_atomic = op.c == TensorType::DstV
-            && op.gather_op.is_reduction()
-            && parallel.strategy.is_edge_parallel();
+        // Pass 2: atomic-requirement analysis, delegated to the shared
+        // write-set race analysis (the single implementation of the rule;
+        // see `crate::analysis`).
+        let needs_atomic = analysis::race_verdict(&op, &parallel).needs_atomic;
 
         // Schedule shape. The requested tiling is clamped to the feature
         // dimension, then re-derived from the tile size so that

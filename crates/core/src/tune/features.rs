@@ -16,15 +16,24 @@ use crate::schedule::{ParallelInfo, Strategy};
 pub const NUM_FEATURES: usize = 16;
 
 fn edge_op_id(op: EdgeOp) -> f64 {
-    EdgeOp::ALL.iter().position(|&e| e == op).unwrap() as f64
+    EdgeOp::ALL
+        .iter()
+        .position(|&e| e == op)
+        .expect("EdgeOp::ALL covers every variant") as f64
 }
 
 fn gather_op_id(op: GatherOp) -> f64 {
-    GatherOp::ALL.iter().position(|&g| g == op).unwrap() as f64
+    GatherOp::ALL
+        .iter()
+        .position(|&g| g == op)
+        .expect("GatherOp::ALL covers every variant") as f64
 }
 
 fn tensor_type_id(t: TensorType) -> f64 {
-    TensorType::ALL.iter().position(|&x| x == t).unwrap() as f64
+    TensorType::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("TensorType::ALL covers every variant") as f64
 }
 
 /// Builds the model input for one (graph, operator, feature-dim, schedule)

@@ -184,15 +184,10 @@ pub fn grid_search_budgeted(
         });
     }
     options.device.validate()?;
-    // Validate the (op, feat) pair once up front so worker threads cannot
-    // fail on it; individual candidates are still validated per-plan.
-    KernelPlan::generate(
-        *op,
-        candidates[0].validated()?,
-        graph.num_vertices(),
-        graph.num_edges(),
-        feat,
-    )?;
+    // One legality gate up front (operator, first schedule, feature dim) so
+    // worker threads cannot fail on it; individual candidates are still
+    // validated per-plan.
+    crate::analysis::check_context(op, &candidates[0], feat)?;
 
     let limit = budget
         .max_candidates

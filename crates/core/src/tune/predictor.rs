@@ -242,7 +242,10 @@ impl Predictor {
         let (s, _) = best.ok_or_else(|| CoreError::TuningFailed {
             reason: "predictor has no candidate schedules".to_owned(),
         })?;
-        s.validated()
+        // Same legality gate as plan generation and grid search: the
+        // winning schedule must be executable in this (op, feat) context.
+        crate::analysis::check_context(op, &s, feat)?;
+        Ok(s)
     }
 
     /// The candidate schedules this predictor ranks.

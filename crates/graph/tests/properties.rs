@@ -1,5 +1,8 @@
 //! Property-based tests for the graph substrate.
 
+// Test helpers outside #[test] fns are not covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_graph::generate::{DegreeModel, GraphSpec};
 use ugrapher_graph::partition::neighbor_groups;
 use ugrapher_graph::reorder::{cluster_order, degree_order, Permutation};

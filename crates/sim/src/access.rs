@@ -86,6 +86,29 @@ impl Access {
         out.truncate(w);
     }
 
+    /// Appends the 4-byte **word addresses** this access touches to `out`
+    /// (byte addresses rounded down to word granularity), one entry per
+    /// active lane per word — duplicates are *preserved*, unlike the
+    /// coalescer view of [`Access::lines`]. This is the write-set view used
+    /// by the race cross-check: two lanes of one warp instruction hitting
+    /// the same word are two distinct writers racing on one element, even
+    /// though the hardware coalescer would merge their transactions.
+    pub fn word_addrs(&self, out: &mut Vec<u64>) {
+        match self {
+            Access::Coalesced { base, lanes } => {
+                out.extend((0..*lanes as u64).map(|i| (base + i * 4) / 4));
+            }
+            Access::Broadcast { addr } => out.push(addr / 4),
+            Access::PerLaneRows { bases, bytes } => {
+                let words = (*bytes as u64).div_ceil(4);
+                for &b in bases {
+                    out.extend((0..words).map(|i| (b + i * 4) / 4));
+                }
+            }
+            Access::Scatter { addrs } => out.extend(addrs.iter().map(|a| a / 4)),
+        }
+    }
+
     /// Number of 4-byte words this access moves (for bandwidth accounting
     /// of useful data, independent of transaction granularity).
     pub fn words(&self) -> u64 {

@@ -17,6 +17,12 @@ pub enum SimError {
         /// What was wrong with the request.
         reason: String,
     },
+    /// A simulation feature was requested under an incompatible
+    /// configuration (e.g. write logging on a sampled trace).
+    InvalidConfig {
+        /// What was incompatible.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -24,6 +30,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::InvalidDevice { reason } => write!(f, "invalid device config: {reason}"),
             SimError::InvalidFault { reason } => write!(f, "invalid fault spec: {reason}"),
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation config: {reason}")
+            }
         }
     }
 }

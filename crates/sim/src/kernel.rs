@@ -8,6 +8,7 @@ use crate::cache::Cache;
 use crate::device::DeviceConfig;
 use crate::report::SimReport;
 use crate::timing::{self, BlockCost};
+use crate::writeset::WriteLog;
 
 /// Grid configuration of one kernel launch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +83,7 @@ pub struct KernelSim {
     atomic_ops: f64,
     cold: ColdTracker,
     block_scale: f64,
+    write_log: Option<WriteLog>,
 }
 
 /// Growable bitmap over line ids, marking lines seen at L2.
@@ -129,7 +131,31 @@ impl KernelSim {
             atomic_ops: 0.0,
             cold: ColdTracker::default(),
             block_scale: 1.0,
+            write_log: None,
         }
+    }
+
+    /// Turns on word-granular write logging (see [`WriteLog`]): every
+    /// subsequent [`KernelSim::store`] / [`KernelSim::atomic`] is recorded,
+    /// and [`KernelSim::finish_with_writes`] returns the log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`](crate::SimError) if the launch
+    /// uses sampled tracing (`replication > 1`): a thinned access stream
+    /// under-counts writers, so the log would miss real conflicts.
+    pub fn enable_write_log(&mut self) -> Result<(), crate::SimError> {
+        if self.launch.replication > 1.0 {
+            return Err(crate::SimError::InvalidConfig {
+                reason: format!(
+                    "write logging requires full-fidelity tracing \
+                     (launch replication is {})",
+                    self.launch.replication
+                ),
+            });
+        }
+        self.write_log = Some(WriteLog::new());
+        Ok(())
     }
 
     /// Starts tracing block `block_id` (assigned round-robin to SMs, as the
@@ -167,6 +193,9 @@ impl KernelSim {
     /// Records a non-atomic global-memory store (write-allocate, so it
     /// costs the same traffic as a load in this model).
     pub fn store(&mut self, access: Access) {
+        if let Some(log) = self.write_log.as_mut() {
+            log.record(&access, false);
+        }
         self.cached_access(access);
     }
 
@@ -175,6 +204,9 @@ impl KernelSim {
     /// updated (e.g. one id per destination row); same-group updates across
     /// the whole kernel serialize on the hottest location.
     pub fn atomic(&mut self, access: Access, conflict_groups: impl IntoIterator<Item = u64>) {
+        if let Some(log) = self.write_log.as_mut() {
+            log.record(&access, true);
+        }
         let scale = self.block_scale;
         let w = self.launch.replication * scale;
         let (sm, cost) = self.current.as_mut().expect("atomic outside a block");
@@ -221,6 +253,17 @@ impl KernelSim {
     pub fn end_block(&mut self) {
         let (_sm, cost) = self.current.take().expect("no block open");
         self.pool.push(cost);
+    }
+
+    /// Produces the final report plus the write log, if
+    /// [`KernelSim::enable_write_log`] was called.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open.
+    pub fn finish_with_writes(mut self) -> (SimReport, Option<WriteLog>) {
+        let log = self.write_log.take();
+        (self.finish(), log)
     }
 
     /// Produces the final report.

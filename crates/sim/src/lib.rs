@@ -55,6 +55,7 @@ mod fault;
 mod kernel;
 mod report;
 pub mod timing;
+mod writeset;
 
 pub use access::Access;
 pub use alloc::AddressSpace;
@@ -64,3 +65,4 @@ pub use error::SimError;
 pub use fault::{Fault, FaultInjector, FaultySim};
 pub use kernel::{KernelSim, LaunchConfig, MemScope};
 pub use report::SimReport;
+pub use writeset::{WordWrites, WriteLog};

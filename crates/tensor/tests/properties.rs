@@ -1,5 +1,8 @@
 //! Property-based tests for the tensor substrate.
 
+// Test helpers outside #[test] fns are not covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher_tensor::Tensor2;
 use ugrapher_util::check::forall;
 use ugrapher_util::rng::StdRng;

@@ -317,7 +317,10 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 code point.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| JsonError::new("invalid utf-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
+                    let c = rest
+                        .chars()
+                        .next()
+                        .expect("peeked byte guarantees at least one code point");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -14,6 +14,9 @@
 //! cargo run --release --example adaptive_tuning
 //! ```
 
+// Example code: unwrap keeps the walkthrough focused on the API.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Instant;
 
 use ugrapher::core::abstraction::OpInfo;

@@ -14,6 +14,9 @@
 //! cargo run --release --example custom_operator
 //! ```
 
+// Example code: unwrap keeps the walkthrough focused on the API.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher::core::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
 use ugrapher::core::api::{uGrapher, GraphTensor, OpArgs};
 use ugrapher::core::schedule::ParallelInfo;

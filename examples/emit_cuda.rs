@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             KernelPlan::generate(op, parallel, nv, ne, feat)?.with_scalar_operands(false, true);
         println!(
             "──────────────────────────────────────────────────────────────\n{}",
-            emit_cuda(&plan)
+            emit_cuda(&plan)?
         );
     }
     println!(

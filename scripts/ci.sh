@@ -11,8 +11,14 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, -D warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (ugrapher-analyze, -D warnings) =="
+cargo clippy -p ugrapher-analyze -- -D warnings
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
+
+echo "== static analyzer: registry sweep (static vs dynamic race check) =="
+cargo run --release -p ugrapher-analyze --bin analyze-registry
 
 echo "== tier-1: cargo test -q =="
 cargo test -q

@@ -14,6 +14,7 @@
 //! | [`gbdt`] | `ugrapher-gbdt` | gradient-boosted trees (the LightGBM substitute) |
 //! | [`gnn`] | `ugrapher-gnn` | GCN/GIN/GAT/GraphSage inference pipelines |
 //! | [`baselines`] | `ugrapher-baselines` | DGL-, PyG- and GNNAdvisor-style backends |
+//! | [`analyze`] | `ugrapher-analyze` | static schedule/kernel analyzer with write-set race detection and sim cross-check |
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and substitution arguments, and `EXPERIMENTS.md` for the paper-vs-
@@ -40,6 +41,7 @@
 //! # }
 //! ```
 
+pub use ugrapher_analyze as analyze;
 pub use ugrapher_baselines as baselines;
 pub use ugrapher_core as core;
 pub use ugrapher_gbdt as gbdt;

@@ -3,6 +3,9 @@
 //! — they differ solely in kernel strategy. These tests run full models
 //! across backends and require matching logits.
 
+// Test helpers outside #[test] fns are not covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher::baselines::{DglBackend, GnnAdvisorBackend, PygBackend};
 use ugrapher::gnn::{run_inference, GraphOpBackend, ModelConfig, ModelKind, UGrapherBackend};
 use ugrapher::graph::datasets::{by_abbrev, Scale};

@@ -5,6 +5,9 @@
 //! bit-identical outputs. Illegal operators must come back as typed
 //! validation errors, never as panics.
 
+// Test helpers outside #[test] fns are not covered by allow-unwrap-in-tests.
+#![allow(clippy::unwrap_used)]
+
 use ugrapher::core::abstraction::registry::all_valid_ops;
 use ugrapher::core::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
 use ugrapher::core::api::{GraphTensor, OpArgs, Runtime};

@@ -1,0 +1,67 @@
+//! Cross-crate checks for the static analyzer through the umbrella crate:
+//! the `ugrapher::analyze` re-exports must compose with the graph, core and
+//! sim crates exactly as the README advertises.
+
+use ugrapher::analyze::{analyze_static, audit_plan, cross_check, AnalyzeError};
+use ugrapher::core::abstraction::OpInfo;
+use ugrapher::core::plan::KernelPlan;
+use ugrapher::core::schedule::{ParallelInfo, Strategy};
+use ugrapher::graph::generate::uniform_random;
+use ugrapher::sim::DeviceConfig;
+
+const FEAT: usize = 8;
+
+#[test]
+fn readme_analyze_snippet_holds() {
+    let graph = uniform_random(100, 800, 42);
+    let op = OpInfo::aggregation_sum();
+    let schedule = ParallelInfo::basic(Strategy::ThreadEdge);
+
+    let report = analyze_static(&graph, op, schedule, FEAT).expect("static analysis succeeds");
+    assert!(report.race.needs_atomic);
+    assert!(report.race.witness.is_some());
+    assert!(report.is_clean());
+
+    let check = cross_check(&graph, op, schedule, FEAT, &DeviceConfig::v100())
+        .expect("dynamic cross-check succeeds");
+    assert!(check.observed_conflicts());
+}
+
+#[test]
+fn static_verdict_matches_dynamic_oracle_across_strategies() {
+    let graph = uniform_random(80, 600, 7);
+    let op = OpInfo::aggregation_max();
+    for strategy in Strategy::ALL {
+        let schedule = ParallelInfo::basic(strategy);
+        let report = analyze_static(&graph, op, schedule, FEAT).expect("static analysis succeeds");
+        let check = cross_check(&graph, op, schedule, FEAT, &DeviceConfig::v100())
+            .expect("dynamic cross-check succeeds");
+        assert_eq!(
+            report.race.witness.is_some(),
+            check.observed_conflicts(),
+            "witness/conflict disagreement under {schedule}"
+        );
+    }
+}
+
+#[test]
+fn tampered_plan_is_rejected_by_audit() {
+    let graph = uniform_random(60, 400, 3);
+    let schedule = ParallelInfo::basic(Strategy::WarpEdge);
+    let mut plan = KernelPlan::generate(
+        OpInfo::aggregation_sum(),
+        schedule,
+        graph.num_vertices(),
+        graph.num_edges(),
+        FEAT,
+    )
+    .expect("plan generation succeeds");
+    assert!(plan.needs_atomic);
+
+    // Simulate a cached/deserialized plan whose atomic flag was dropped.
+    plan.needs_atomic = false;
+    match audit_plan(&graph, &plan) {
+        Err(AnalyzeError::AtomicMismatch { derived_atomic, .. }) => assert!(derived_atomic),
+        other => panic!("expected AtomicMismatch, got {other:?}"),
+    }
+}
