@@ -2,20 +2,68 @@
 //! variants through the static analyzer and the dynamic sim cross-check.
 //! Exits non-zero on any finding (atomic mismatch, legality or schedule
 //! lint, codegen lint, or a static↔dynamic disagreement).
+//!
+//! `--progress[=N]` prints a one-line counter every `N` combinations
+//! (default 100), sourced from the process-wide metrics registry
+//! (`ugrapher_analyze_combos_total`).
 
 use std::process::ExitCode;
 
-use ugrapher_analyze::{analyze_registry, SweepConfig};
+use ugrapher_analyze::{analyze_registry_with_progress, SweepConfig};
+use ugrapher_obs::{metrics, MetricsRegistry};
 use ugrapher_sim::DeviceConfig;
 
+fn parse_progress(args: &[String]) -> Result<Option<usize>, String> {
+    let mut every = None;
+    for arg in args {
+        if arg == "--progress" {
+            every = Some(100);
+        } else if let Some(n) = arg.strip_prefix("--progress=") {
+            every = Some(
+                n.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("--progress={n}: expected a positive integer"))?,
+            );
+        } else {
+            return Err(format!("unknown argument {arg}"));
+        }
+    }
+    Ok(every)
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let progress_every = match parse_progress(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("analyze-registry: {e}");
+            eprintln!("usage: analyze-registry [--progress[=N]]");
+            return ExitCode::from(2);
+        }
+    };
     let cfg = SweepConfig::full();
     let device = DeviceConfig::v100();
     println!(
         "analyze-registry: graph |V|={} |E|={} feat={} groupings={:?} tilings={:?}",
         cfg.num_vertices, cfg.num_edges, cfg.feat, cfg.groupings, cfg.tilings
     );
-    let report = analyze_registry(&device, &cfg);
+    let mut tick = |checked: usize| {
+        if let Some(every) = progress_every {
+            if checked.is_multiple_of(every) {
+                println!(
+                    "progress: {checked} combos checked ({}={})",
+                    metrics::ANALYZE_COMBOS,
+                    MetricsRegistry::global().counter(metrics::ANALYZE_COMBOS)
+                );
+            }
+        }
+    };
+    let report = analyze_registry_with_progress(
+        &device,
+        &cfg,
+        progress_every.is_some().then_some(&mut tick as &mut _),
+    );
     println!(
         "checked {} combinations: {} static race witnesses, {} dynamically confirmed",
         report.combos_checked, report.static_witnesses, report.dynamic_conflicts

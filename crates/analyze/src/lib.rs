@@ -68,4 +68,6 @@ pub use codegen::{lint_cuda, CodegenFinding};
 pub use dynamic::{cross_check, cross_check_plan, CrossCheck};
 pub use error::AnalyzeError;
 pub use statics::{analyze_static, audit_plan, RaceVerdict, StaticReport};
-pub use sweep::{analyze_registry, SweepConfig, SweepFinding, SweepReport};
+pub use sweep::{
+    analyze_registry, analyze_registry_with_progress, SweepConfig, SweepFinding, SweepReport,
+};

@@ -114,6 +114,20 @@ impl SweepReport {
 /// running the static pass and the dynamic cross-check on each combination
 /// and collecting every finding.
 pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport {
+    analyze_registry_with_progress(device, cfg, None)
+}
+
+/// [`analyze_registry`] with a progress hook: `progress` is invoked after
+/// every combination with the number checked so far (in this sweep).
+/// Each combination also bumps the process-wide
+/// `ugrapher_analyze_combos_total` counter, which is what the
+/// `analyze-registry --progress` flag reports.
+pub fn analyze_registry_with_progress(
+    device: &DeviceConfig,
+    cfg: &SweepConfig,
+    mut progress: Option<&mut dyn FnMut(usize)>,
+) -> SweepReport {
+    let mut span = ugrapher_obs::global().span("analyze.sweep", ugrapher_obs::SpanKind::Analyze);
     let graph = cfg.graph();
     let mut report = SweepReport::default();
     for op in registry::all_valid_ops() {
@@ -122,6 +136,11 @@ pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport
                 for &tiling in &cfg.tilings {
                     let parallel = ParallelInfo::new(strategy, grouping, tiling);
                     report.combos_checked += 1;
+                    ugrapher_obs::MetricsRegistry::global()
+                        .inc(ugrapher_obs::metrics::ANALYZE_COMBOS);
+                    if let Some(hook) = progress.as_deref_mut() {
+                        hook(report.combos_checked);
+                    }
                     let fail = |detail: String| SweepFinding {
                         op,
                         schedule: parallel,
@@ -156,6 +175,10 @@ pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport
                 }
             }
         }
+    }
+    if span.is_enabled() {
+        span.attr("combos", report.combos_checked)
+            .attr("findings", report.findings.len());
     }
     report
 }

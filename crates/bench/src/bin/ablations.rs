@@ -14,7 +14,7 @@
 
 use ugrapher_bench::{print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
-use ugrapher_core::exec::{Fidelity, MeasureOptions};
+use ugrapher_core::exec::MeasureOptions;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_core::tune::grid_search_space;
 use ugrapher_graph::datasets::by_abbrev;
@@ -22,10 +22,7 @@ use ugrapher_sim::DeviceConfig;
 
 fn rank(device: DeviceConfig, abbrev: &str, feat: usize) -> Vec<String> {
     let graph = by_abbrev(abbrev).unwrap().build(scale());
-    let options = MeasureOptions {
-        device,
-        fidelity: Fidelity::Auto,
-    };
+    let options = MeasureOptions::auto(device);
     let mut all = grid_search_space(
         &graph,
         &OpInfo::aggregation_sum(),
@@ -96,10 +93,7 @@ fn predictor_feature_ablation(device: DeviceConfig) {
     let p_with = Predictor::train(&with_op);
     let p_without = Predictor::train(&graph_only);
 
-    let options = MeasureOptions {
-        device,
-        fidelity: Fidelity::Auto,
-    };
+    let options = MeasureOptions::auto(device);
     let mut rows = Vec::new();
     for abbrev in ["PU", "AR"] {
         let graph = by_abbrev(abbrev).unwrap().build(scale());

@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use ugrapher_bench::{eval_datasets, print_table, quick, save_json, scale};
 use ugrapher_core::abstraction::OpInfo;
-use ugrapher_core::exec::{Fidelity, MeasureOptions};
+use ugrapher_core::exec::MeasureOptions;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_core::tune::{grid_search_shaped, Predictor, PredictorConfig};
 use ugrapher_graph::datasets::by_abbrev;
@@ -56,10 +56,7 @@ fn main() {
     // hidden size 16.
     let op = OpInfo::weighted_aggregation_sum();
     let feat = 16;
-    let options = MeasureOptions {
-        device,
-        fidelity: Fidelity::Auto,
-    };
+    let options = MeasureOptions::auto(device);
 
     let mut rows = Vec::new();
     let mut gaps = Vec::new();

@@ -8,17 +8,14 @@
 
 use ugrapher_bench::{eval_datasets, print_table, scale};
 use ugrapher_core::abstraction::OpInfo;
-use ugrapher_core::exec::{Fidelity, MeasureOptions};
+use ugrapher_core::exec::MeasureOptions;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_core::tune::grid_search_space;
 use ugrapher_graph::datasets::by_abbrev;
 use ugrapher_sim::DeviceConfig;
 
 fn main() {
-    let options = MeasureOptions {
-        device: DeviceConfig::v100(),
-        fidelity: Fidelity::Auto,
-    };
+    let options = MeasureOptions::auto(DeviceConfig::v100());
     let cases = [
         ("GAT_L1_MsgC", OpInfo::message_creation_add(), 8usize),
         ("GIN_L1_Aggr", OpInfo::aggregation_sum(), 64),

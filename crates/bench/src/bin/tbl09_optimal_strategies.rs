@@ -12,7 +12,7 @@
 
 use ugrapher_bench::{eval_datasets, print_table, save_json, scale};
 use ugrapher_core::abstraction::OpInfo;
-use ugrapher_core::exec::{Fidelity, MeasureOptions};
+use ugrapher_core::exec::MeasureOptions;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_core::tune::grid_search_shaped;
 use ugrapher_graph::datasets::by_abbrev;
@@ -60,10 +60,7 @@ fn main() {
     let space = ParallelInfo::space();
     let mut json_rows: Vec<Vec<String>> = Vec::new();
     for device in [DeviceConfig::v100(), DeviceConfig::a100()] {
-        let options = MeasureOptions {
-            device: device.clone(),
-            fidelity: Fidelity::Auto,
-        };
+        let options = MeasureOptions::auto(device.clone());
         let mut rows = Vec::new();
         for abbrev in eval_datasets() {
             let info = by_abbrev(abbrev).unwrap();

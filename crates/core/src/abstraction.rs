@@ -387,6 +387,15 @@ impl OpInfo {
     pub fn reads_edge(&self) -> bool {
         self.a == TensorType::Edge || self.b == TensorType::Edge
     }
+
+    /// Compact operator label, e.g. `"CopyLhs.Sum(SrcV,Null)->DstV"` —
+    /// used as a trace/span attribute and in diagnostics.
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}.{:?}({:?},{:?})->{:?}",
+            self.edge_op, self.gather_op, self.a, self.b, self.c
+        )
+    }
 }
 
 /// Enumeration and census of the legal operator space.

@@ -31,11 +31,12 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ugrapher_graph::{DegreeStats, Graph};
+use ugrapher_obs::{metrics, MetricsRegistry, Recorder, SpanKind};
 use ugrapher_sim::{DeviceConfig, SimReport};
 use ugrapher_tensor::Tensor2;
 
 use crate::abstraction::OpInfo;
-use crate::exec::{execute, functional, measure, Fidelity, MeasureOptions, OpOperands};
+use crate::exec::{functional, measure, Fidelity, MeasureOptions, OpOperands};
 use crate::plan::KernelPlan;
 use crate::robustness::RobustnessReport;
 use crate::schedule::{ParallelInfo, Strategy};
@@ -124,6 +125,10 @@ pub struct UGrapherResult {
     /// choice (explicit schedule, predictor, or complete grid search)
     /// succeeded.
     pub robustness: RobustnessReport,
+    /// Request id stamped on every span this invocation emitted (see
+    /// [`ugrapher_obs`]). Non-zero even when tracing is disabled, so log
+    /// lines and traces can be joined after the fact.
+    pub trace_id: u64,
 }
 
 /// An execution context: target device plus optional trained predictor.
@@ -134,10 +139,13 @@ pub struct Runtime {
     predictor: Option<Predictor>,
     search_space: Option<Vec<ParallelInfo>>,
     tune_budget: TuneBudget,
+    recorder: Recorder,
 }
 
 impl Runtime {
     /// A runtime for the given device, using grid search for auto-tuning.
+    /// Spans go to the process-global recorder (disabled unless installed
+    /// via [`ugrapher_obs::install`] / [`ugrapher_obs::init_from_env`]).
     pub fn new(device: DeviceConfig) -> Self {
         Self {
             device,
@@ -145,6 +153,7 @@ impl Runtime {
             predictor: None,
             search_space: None,
             tune_budget: TuneBudget::unlimited(),
+            recorder: Recorder::global(),
         }
     }
 
@@ -173,6 +182,14 @@ impl Runtime {
     /// downgrade in the [`RobustnessReport`].
     pub fn with_tune_budget(mut self, budget: TuneBudget) -> Self {
         self.tune_budget = budget;
+        self
+    }
+
+    /// Routes this runtime's spans (`"ugrapher.run"`, `"tune.candidate"`,
+    /// `"sim.kernel"`, …) to an explicit recorder instead of the
+    /// process-global one. Useful for capturing an isolated trace in tests.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -214,7 +231,8 @@ impl Runtime {
         scalars: (bool, bool),
     ) -> Result<ParallelInfo, CoreError> {
         let mut report = RobustnessReport::new();
-        self.choose_with_fallback(graph, op, feat, scalars, &mut report)
+        let trace_id = ugrapher_obs::next_trace_id();
+        self.choose_with_fallback(graph, op, feat, scalars, &mut report, trace_id)
     }
 
     /// The schedule-selection fallback chain: predictor → budgeted grid
@@ -230,10 +248,34 @@ impl Runtime {
         feat: usize,
         scalars: (bool, bool),
         report: &mut RobustnessReport,
+        trace_id: u64,
+    ) -> Result<ParallelInfo, CoreError> {
+        let mut span = self
+            .recorder
+            .span_traced("tune.choose", SpanKind::Tune, trace_id);
+        let result = self.choose_with_fallback_inner(graph, op, feat, scalars, report, trace_id);
+        if span.is_enabled() {
+            span.attr("op", op.label()).attr("feat", feat);
+            if let Ok(s) = &result {
+                span.attr("schedule", s.label());
+            }
+            span.attr("downgrades", report.downgrades.len());
+        }
+        result
+    }
+
+    fn choose_with_fallback_inner(
+        &self,
+        graph: &GraphTensor<'_>,
+        op: &OpInfo,
+        feat: usize,
+        scalars: (bool, bool),
+        report: &mut RobustnessReport,
+        trace_id: u64,
     ) -> Result<ParallelInfo, CoreError> {
         op.validate()?;
         if let Some(p) = &self.predictor {
-            match p.choose(graph.stats(), op, feat) {
+            match p.choose_traced(graph.stats(), op, feat, &self.recorder, trace_id) {
                 Ok(s) => return Ok(s),
                 Err(e @ CoreError::InvalidOperator { .. }) => return Err(e),
                 // A predictor that scores non-finitely or emits an illegal
@@ -241,10 +283,9 @@ impl Runtime {
                 Err(e) => report.record("predictor", "grid-search", e.to_string()),
             }
         }
-        let options = MeasureOptions {
-            device: self.device.clone(),
-            fidelity: Fidelity::Auto,
-        };
+        let options = MeasureOptions::auto(self.device.clone())
+            .with_recorder(self.recorder.clone())
+            .with_trace_id(trace_id);
         let space;
         let candidates: &[ParallelInfo] = match &self.search_space {
             Some(c) => c,
@@ -315,6 +356,36 @@ impl Runtime {
         args: &OpArgs<'_>,
         parallel: Option<ParallelInfo>,
     ) -> Result<UGrapherResult, CoreError> {
+        let trace_id = ugrapher_obs::next_trace_id();
+        let mut span = self
+            .recorder
+            .span_traced("ugrapher.run", SpanKind::Runtime, trace_id);
+        let result = self.run_traced(graph, args, parallel, trace_id);
+        if span.is_enabled() {
+            span.attr("op", args.op.label())
+                .attr("explicit_schedule", parallel.is_some())
+                .attr("ok", result.is_ok());
+            if let Ok(res) = &result {
+                span.attr("schedule", res.schedule.label())
+                    .attr("time_ms", res.report.time_ms)
+                    .attr("downgrades", res.robustness.downgrades.len());
+            }
+        }
+        let reg = MetricsRegistry::global();
+        reg.inc(metrics::RUNS);
+        if let Ok(res) = &result {
+            reg.observe(metrics::RUN_TIME_MS, res.report.time_ms);
+        }
+        result
+    }
+
+    fn run_traced(
+        &self,
+        graph: &GraphTensor<'_>,
+        args: &OpArgs<'_>,
+        parallel: Option<ParallelInfo>,
+        trace_id: u64,
+    ) -> Result<UGrapherResult, CoreError> {
         if let Some(reason) = graph.validation_error() {
             return Err(CoreError::GraphInvalid {
                 reason: reason.to_owned(),
@@ -331,6 +402,7 @@ impl Runtime {
         let scalar = |t: Option<&Tensor2>| t.is_some_and(|t| t.cols() == 1) && feat > 1;
         let scalars = (scalar(args.operands.a), scalar(args.operands.b));
         let mut robustness = RobustnessReport::new();
+        robustness.trace_id = trace_id;
         let schedule = match parallel {
             Some(p) => {
                 let p = p.validated()?;
@@ -348,7 +420,14 @@ impl Runtime {
                 }
                 p
             }
-            None => self.choose_with_fallback(graph, &args.op, feat, scalars, &mut robustness)?,
+            None => self.choose_with_fallback(
+                graph,
+                &args.op,
+                feat,
+                scalars,
+                &mut robustness,
+                trace_id,
+            )?,
         };
         let plan = KernelPlan::generate(
             args.op,
@@ -358,20 +437,27 @@ impl Runtime {
             feat,
         )?
         .with_scalar_operands(scalars.0, scalars.1);
-        let output = execute(graph.graph(), &args.op, &args.operands)?;
+        let output = functional::execute_traced(
+            graph.graph(),
+            &args.op,
+            &args.operands,
+            &self.recorder,
+            trace_id,
+        )?;
         let report = measure(
             graph.graph(),
             &plan,
-            &MeasureOptions {
-                device: self.device.clone(),
-                fidelity: self.fidelity,
-            },
+            &MeasureOptions::new(self.device.clone())
+                .with_fidelity(self.fidelity)
+                .with_recorder(self.recorder.clone())
+                .with_trace_id(trace_id),
         );
         Ok(UGrapherResult {
             output,
             report,
             schedule,
             robustness,
+            trace_id,
         })
     }
 
@@ -403,17 +489,27 @@ impl Runtime {
         feat: usize,
         parallel: ParallelInfo,
     ) -> Result<SimReport, CoreError> {
+        let trace_id = ugrapher_obs::next_trace_id();
+        let mut span =
+            self.recorder
+                .span_traced("ugrapher.measure_only", SpanKind::Runtime, trace_id);
         graph.validate()?;
         let plan =
             KernelPlan::generate(*op, parallel, graph.num_vertices(), graph.num_edges(), feat)?;
-        Ok(measure(
+        let report = measure(
             graph,
             &plan,
-            &MeasureOptions {
-                device: self.device.clone(),
-                fidelity: self.fidelity,
-            },
-        ))
+            &MeasureOptions::new(self.device.clone())
+                .with_fidelity(self.fidelity)
+                .with_recorder(self.recorder.clone())
+                .with_trace_id(trace_id),
+        );
+        if span.is_enabled() {
+            span.attr("op", op.label())
+                .attr("schedule", parallel.label())
+                .attr("time_ms", report.time_ms);
+        }
+        Ok(report)
     }
 }
 

@@ -138,6 +138,39 @@ pub fn execute(
     op: &OpInfo,
     operands: &OpOperands<'_>,
 ) -> Result<Tensor2, CoreError> {
+    execute_traced(graph, op, operands, ugrapher_obs::global(), 0)
+}
+
+/// [`execute`] with tracing: emits one `"exec.functional"` span on
+/// `recorder`, carrying the operator label and output shape.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the operator is invalid or the operands'
+/// shapes do not match their declared [`TensorType`]s.
+pub fn execute_traced(
+    graph: &Graph,
+    op: &OpInfo,
+    operands: &OpOperands<'_>,
+    recorder: &ugrapher_obs::Recorder,
+    trace_id: u64,
+) -> Result<Tensor2, CoreError> {
+    let mut span = recorder.span_traced("exec.functional", ugrapher_obs::SpanKind::Exec, trace_id);
+    let result = execute_inner(graph, op, operands);
+    if span.is_enabled() {
+        span.attr("op", op.label()).attr("ok", result.is_ok());
+        if let Ok(out) = &result {
+            span.attr("rows", out.rows()).attr("feat", out.cols());
+        }
+    }
+    result
+}
+
+fn execute_inner(
+    graph: &Graph,
+    op: &OpInfo,
+    operands: &OpOperands<'_>,
+) -> Result<Tensor2, CoreError> {
     let feat = check_shapes(graph, op, operands)?;
     let nv = graph.num_vertices();
     let ne = graph.num_edges();

@@ -21,6 +21,7 @@
 //! makes grid-search tuning affordable (DESIGN.md §7).
 
 use ugrapher_graph::Graph;
+use ugrapher_obs::{metrics, MetricsRegistry, Recorder, SpanKind};
 use ugrapher_sim::{Access, AddressSpace, DeviceConfig, KernelSim, LaunchConfig, SimReport};
 
 use crate::abstraction::TensorType;
@@ -47,6 +48,14 @@ pub struct MeasureOptions {
     pub device: DeviceConfig,
     /// Sampling fidelity.
     pub fidelity: Fidelity,
+    /// Span recorder: every [`measure`] call emits one `"sim.kernel"` span
+    /// here, carrying the full [`SimReport`] metric set as attributes.
+    /// Defaults to the process-global recorder (disabled unless installed),
+    /// so this costs nothing when tracing is off.
+    pub recorder: Recorder,
+    /// Trace id stamped on emitted spans (`0` = not part of a traced
+    /// request).
+    pub trace_id: u64,
 }
 
 impl MeasureOptions {
@@ -55,6 +64,8 @@ impl MeasureOptions {
         Self {
             device,
             fidelity: Fidelity::Full,
+            recorder: Recorder::global(),
+            trace_id: 0,
         }
     }
 
@@ -63,7 +74,28 @@ impl MeasureOptions {
         Self {
             device,
             fidelity: Fidelity::Auto,
+            recorder: Recorder::global(),
+            trace_id: 0,
         }
+    }
+
+    /// Sets the sampling fidelity.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Routes `"sim.kernel"` spans to an explicit recorder instead of the
+    /// process-global one.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Stamps emitted spans with a request trace id.
+    pub fn with_trace_id(mut self, trace_id: u64) -> Self {
+        self.trace_id = trace_id;
+        self
     }
 }
 
@@ -271,6 +303,9 @@ fn resolve_sampling(
 /// assert!(report.time_ms > 0.0);
 /// ```
 pub fn measure(graph: &Graph, plan: &KernelPlan, options: &MeasureOptions) -> SimReport {
+    let mut span = options
+        .recorder
+        .span_traced("sim.kernel", SpanKind::Kernel, options.trace_id);
     let device = &options.device;
     let wpb = plan.threads_per_block / 32;
     // Approximate edge visits per warp, the unit of tracing cost.
@@ -314,7 +349,35 @@ pub fn measure(graph: &Graph, plan: &KernelPlan, options: &MeasureOptions) -> Si
         warp_stride,
     };
     tracer.run(&mut sim);
-    sim.finish()
+    let report = sim.finish();
+    if span.is_enabled() {
+        span.attr("schedule", plan.parallel.label())
+            .attr("op", plan.op.label())
+            .attr("feat", plan.feat)
+            .attr("grid_blocks", plan.grid_blocks)
+            .attr("time_ms", report.time_ms)
+            .attr("kernels", report.kernels)
+            .attr("achieved_occupancy", report.achieved_occupancy)
+            .attr("theoretical_occupancy", report.theoretical_occupancy)
+            .attr("sm_efficiency", report.sm_efficiency)
+            .attr("l1_hit_rate", report.l1_hit_rate)
+            .attr("l2_hit_rate", report.l2_hit_rate)
+            .attr("dram_bytes", report.dram_bytes)
+            .attr("l2_transactions", report.l2_transactions)
+            .attr("l1_transactions", report.l1_transactions)
+            .attr("atomic_ops", report.atomic_ops)
+            .attr("max_atomic_conflict", report.max_atomic_conflict)
+            .attr("compute_cycles", report.compute_cycles);
+    }
+    let reg = MetricsRegistry::global();
+    reg.inc(metrics::KERNELS_LAUNCHED);
+    reg.observe_labeled(
+        metrics::KERNEL_TIME_MS,
+        "strategy",
+        plan.parallel.strategy.label(),
+        report.time_ms,
+    );
+    report
 }
 
 /// Replays `plan`'s schedule over `graph` at **full fidelity** with the
@@ -1250,10 +1313,7 @@ mod tests {
         let sampled = measure(
             &g,
             &plan,
-            &MeasureOptions {
-                device: DeviceConfig::v100(),
-                fidelity: Fidelity::Sampled(7),
-            },
+            &MeasureOptions::new(DeviceConfig::v100()).with_fidelity(Fidelity::Sampled(7)),
         );
         let ratio = sampled.time_ms / full.time_ms;
         assert!(

@@ -32,6 +32,9 @@ impl std::fmt::Display for Downgrade {
 pub struct RobustnessReport {
     /// Fallbacks taken, in the order they occurred.
     pub downgrades: Vec<Downgrade>,
+    /// Trace id of the request this report belongs to (`0` until the
+    /// runtime stamps it; joins the report to emitted spans).
+    pub trace_id: u64,
 }
 
 impl RobustnessReport {
@@ -45,13 +48,19 @@ impl RobustnessReport {
         !self.downgrades.is_empty()
     }
 
-    /// Records one fallback event.
+    /// Records one fallback event. Also bumps the process-wide fallback
+    /// counter (`ugrapher_fallbacks_total{stage=...}`).
     pub fn record(
         &mut self,
         stage: &'static str,
         fallback: &'static str,
         reason: impl Into<String>,
     ) {
+        ugrapher_obs::MetricsRegistry::global().inc_labeled(
+            ugrapher_obs::metrics::FALLBACKS,
+            "stage",
+            stage,
+        );
         self.downgrades.push(Downgrade {
             stage,
             fallback,

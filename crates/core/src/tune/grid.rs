@@ -5,6 +5,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use ugrapher_graph::Graph;
+use ugrapher_obs::{metrics, MetricsRegistry, SpanKind};
 
 use crate::abstraction::OpInfo;
 use crate::exec::{measure, MeasureOptions};
@@ -235,7 +236,20 @@ pub fn grid_search_budgeted(
                     ) {
                         Ok(plan) => {
                             let plan = plan.with_scalar_operands(scalars.0, scalars.1);
-                            local.push((i, p, measure(graph, &plan, options).time_ms));
+                            let mut span = options.recorder.span_traced(
+                                "tune.candidate",
+                                SpanKind::Tune,
+                                options.trace_id,
+                            );
+                            let time_ms = measure(graph, &plan, options).time_ms;
+                            if span.is_enabled() {
+                                span.attr("schedule", p.label())
+                                    .attr("candidate_index", i)
+                                    .attr("measured_time_ms", time_ms);
+                            }
+                            drop(span);
+                            MetricsRegistry::global().inc(metrics::TUNING_EVALUATIONS);
+                            local.push((i, p, time_ms));
                         }
                         Err(e) => {
                             let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
@@ -289,15 +303,12 @@ pub fn grid_search_budgeted(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::Fidelity;
+
     use ugrapher_graph::generate::uniform_random;
     use ugrapher_sim::DeviceConfig;
 
     fn options() -> MeasureOptions {
-        MeasureOptions {
-            device: DeviceConfig::v100(),
-            fidelity: Fidelity::Auto,
-        }
+        MeasureOptions::auto(DeviceConfig::v100())
     }
 
     #[test]

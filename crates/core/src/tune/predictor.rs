@@ -8,8 +8,10 @@ use ugrapher_graph::generate::{DegreeModel, GraphSpec};
 use ugrapher_graph::{DegreeStats, Graph};
 use ugrapher_sim::DeviceConfig;
 
+use ugrapher_obs::{Recorder, SpanKind};
+
 use crate::abstraction::OpInfo;
-use crate::exec::{measure, Fidelity, MeasureOptions};
+use crate::exec::{measure, MeasureOptions};
 use crate::plan::KernelPlan;
 use crate::schedule::ParallelInfo;
 use crate::CoreError;
@@ -157,10 +159,7 @@ impl Predictor {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut rows = Vec::new();
         let mut targets = Vec::new();
-        let options = MeasureOptions {
-            device: config.device.clone(),
-            fidelity: Fidelity::Auto,
-        };
+        let options = MeasureOptions::auto(config.device.clone());
 
         for _ in 0..config.num_graphs {
             let graph = random_graph(config, &mut rng);
@@ -226,10 +225,34 @@ impl Predictor {
         op: &OpInfo,
         feat: usize,
     ) -> Result<ParallelInfo, CoreError> {
+        self.choose_traced(stats, op, feat, &Recorder::disabled(), 0)
+    }
+
+    /// [`Predictor::choose`] with tracing: one `"tune.predict"` span per
+    /// candidate schedule scored, carrying the predicted log-time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the operator is invalid or the model's
+    /// output is unusable.
+    pub fn choose_traced(
+        &self,
+        stats: &DegreeStats,
+        op: &OpInfo,
+        feat: usize,
+        recorder: &Recorder,
+        trace_id: u64,
+    ) -> Result<ParallelInfo, CoreError> {
         op.validate()?;
         let mut best: Option<(ParallelInfo, f64)> = None;
         for &s in &self.schedules {
+            let mut span = recorder.span_traced("tune.predict", SpanKind::Tune, trace_id);
             let t = self.predict_log_time(stats, op, feat, &s);
+            if span.is_enabled() {
+                span.attr("schedule", s.label())
+                    .attr("predicted_log_time", t);
+            }
+            drop(span);
             if !t.is_finite() {
                 return Err(CoreError::TuningFailed {
                     reason: format!("predictor scored {} as {t}", s.label()),
@@ -341,10 +364,7 @@ mod tests {
         let op = OpInfo::aggregation_sum();
         let chosen = predictor.choose(&stats, &op, 16).unwrap();
 
-        let options = MeasureOptions {
-            device: DeviceConfig::v100(),
-            fidelity: Fidelity::Auto,
-        };
+        let options = MeasureOptions::auto(DeviceConfig::v100());
         let truth = grid_search_space(&g, &op, 16, &options, &ParallelInfo::basics()).unwrap();
         let chosen_time = truth.time_of(&chosen).unwrap();
         // Paper Fig. 12: predictor performance is close to grid search. We

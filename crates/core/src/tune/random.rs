@@ -56,15 +56,12 @@ pub fn random_search(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::Fidelity;
+
     use ugrapher_graph::generate::uniform_random;
     use ugrapher_sim::DeviceConfig;
 
     fn options() -> MeasureOptions {
-        MeasureOptions {
-            device: DeviceConfig::v100(),
-            fidelity: Fidelity::Auto,
-        }
+        MeasureOptions::auto(DeviceConfig::v100())
     }
 
     #[test]

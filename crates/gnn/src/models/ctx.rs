@@ -3,6 +3,7 @@
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::exec::OpOperands;
 use ugrapher_graph::Graph;
+use ugrapher_obs::{Recorder, SpanKind};
 use ugrapher_sim::SimReport;
 use ugrapher_tensor::{GemmCostModel, GemmDevice, Tensor2};
 
@@ -18,6 +19,8 @@ pub(crate) struct Ctx<'a> {
     gemm_ms: f64,
     elementwise_ms: f64,
     graph_ops: Vec<(OpSite, SimReport)>,
+    recorder: Recorder,
+    trace_id: u64,
 }
 
 impl<'a> Ctx<'a> {
@@ -37,13 +40,28 @@ impl<'a> Ctx<'a> {
             gemm_ms: 0.0,
             elementwise_ms: 0.0,
             graph_ops: Vec::new(),
+            recorder: Recorder::global(),
+            trace_id: ugrapher_obs::next_trace_id(),
         }
+    }
+
+    /// Opens a span on this inference's recorder with its trace id.
+    pub fn span(&self, name: &'static str, kind: SpanKind) -> ugrapher_obs::SpanGuard {
+        self.recorder.span_traced(name, kind, self.trace_id)
     }
 
     /// Dense projection `x × w`, charged to the GEMM budget.
     pub fn gemm(&mut self, x: &Tensor2, w: &Tensor2) -> Result<Tensor2, GnnError> {
+        let mut span = self.span("gnn.gemm", SpanKind::Model);
         let out = x.matmul(w)?;
-        self.gemm_ms += self.gemm_model.time_ms(x.rows(), w.cols(), x.cols());
+        let sim_ms = self.gemm_model.time_ms(x.rows(), w.cols(), x.cols());
+        self.gemm_ms += sim_ms;
+        if span.is_enabled() {
+            span.attr("m", x.rows())
+                .attr("n", w.cols())
+                .attr("k", x.cols())
+                .attr("time_ms", sim_ms);
+        }
         Ok(out)
     }
 
@@ -74,7 +92,19 @@ impl<'a> Ctx<'a> {
         op: OpInfo,
         operands: OpOperands<'_>,
     ) -> Result<Tensor2, GnnError> {
-        let (out, report) = self.backend.run_op(self.graph, &site, &op, &operands)?;
+        let mut span = self.span("gnn.op", SpanKind::Model);
+        let result = self.backend.run_op(self.graph, &site, &op, &operands);
+        if span.is_enabled() {
+            span.attr("op", site.label())
+                .attr("layer", site.layer)
+                .attr("ok", result.is_ok());
+            if let Ok((_, report)) = &result {
+                span.attr("time_ms", report.time_ms)
+                    .attr("kernels", report.kernels);
+            }
+        }
+        drop(span);
+        let (out, report) = result?;
         self.graph_ops.push((site, report));
         Ok(out)
     }

@@ -167,15 +167,23 @@ pub fn run_inference(
         });
     }
     let mut ctx = Ctx::new(graph, backend);
+    let mut span = ctx.span("gnn.inference", ugrapher_obs::SpanKind::Model);
     let output = match model.kind {
-        ModelKind::Gcn => gcn::forward(&mut ctx, model, features, num_classes)?,
-        ModelKind::Gin => gin::forward(&mut ctx, model, features, num_classes)?,
-        ModelKind::Gat => gat::forward(&mut ctx, model, features, num_classes)?,
+        ModelKind::Gcn => gcn::forward(&mut ctx, model, features, num_classes),
+        ModelKind::Gin => gin::forward(&mut ctx, model, features, num_classes),
+        ModelKind::Gat => gat::forward(&mut ctx, model, features, num_classes),
         ModelKind::SageSum | ModelKind::SageMax | ModelKind::SageMean => {
-            sage::forward(&mut ctx, model, features, num_classes)?
+            sage::forward(&mut ctx, model, features, num_classes)
         }
     };
-    Ok(ctx.into_result(output))
+    if span.is_enabled() {
+        span.attr("model", model.kind.label())
+            .attr("layers", model.num_layers)
+            .attr("backend", backend.name())
+            .attr("ok", output.is_ok());
+    }
+    drop(span);
+    Ok(ctx.into_result(output?))
 }
 
 #[cfg(test)]

@@ -1,0 +1,49 @@
+//! `trace-check` — validates exported uGrapher traces.
+//!
+//! ```text
+//! trace-check <trace.json|trace.jsonl> [more files...]
+//! ```
+//!
+//! Each file is validated per its extension (`.jsonl` → JSONL of Chrome
+//! events in completion order, anything else → a Chrome trace JSON
+//! array): well-formed JSON, the complete-event shape, non-negative
+//! monotonic timestamps, and balanced (properly nested) spans per thread.
+//! Exits non-zero on the first invalid file, so CI can gate on it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use ugrapher_obs::trace_check::check_file;
+
+fn main() -> ExitCode {
+    let args: Vec<PathBuf> = std::env::args_os().skip(1).map(PathBuf::from).collect();
+    if args.is_empty() {
+        eprintln!("usage: trace-check <trace.json|trace.jsonl> [more files...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        match check_file(path) {
+            Ok(stats) => {
+                println!(
+                    "OK   {}: {} events, {} thread{}, {} trace id{}, wall {:.3} ms",
+                    path.display(),
+                    stats.events,
+                    stats.threads,
+                    if stats.threads == 1 { "" } else { "s" },
+                    stats.trace_ids,
+                    if stats.trace_ids == 1 { "" } else { "s" },
+                    stats.wall_ms(),
+                );
+            }
+            Err(err) => {
+                eprintln!("FAIL {}: {err}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

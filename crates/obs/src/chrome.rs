@@ -1,0 +1,162 @@
+//! Chrome `trace_event` serialization.
+//!
+//! Every span serializes to one *complete* event (`"ph": "X"`) in the
+//! [Trace Event Format] consumed by `about://tracing` and Perfetto.
+//! Timestamps and durations are microseconds; the span's [`SpanKind`]
+//! becomes the event category and its attributes (plus `trace_id`) the
+//! `args` object.
+//!
+//! The same per-event serialization backs both the JSONL sink (one event
+//! per line) and the Chrome-trace file sink (a single JSON array), so one
+//! validator handles both formats.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::span::{AttrValue, Span};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        // JSON has no NaN/Infinity; null keeps the document well-formed.
+        out.push_str("null");
+    }
+}
+
+fn push_attr_value(v: &AttrValue, out: &mut String) {
+    match v {
+        AttrValue::Str(s) => {
+            out.push('"');
+            escape_json(s, out);
+            out.push('"');
+        }
+        AttrValue::F64(v) => push_f64(*v, out),
+        AttrValue::U64(v) => out.push_str(&format!("{v}")),
+        AttrValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+    }
+}
+
+/// Serializes one span as a complete (`ph: "X"`) Chrome trace event.
+pub fn chrome_event_json(span: &Span) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"name\":\"");
+    escape_json(span.name, &mut out);
+    out.push_str("\",\"cat\":\"");
+    out.push_str(span.kind.label());
+    out.push_str("\",\"ph\":\"X\",\"ts\":");
+    push_f64(span.start_ns as f64 / 1_000.0, &mut out);
+    out.push_str(",\"dur\":");
+    push_f64(span.dur_ns as f64 / 1_000.0, &mut out);
+    out.push_str(&format!(",\"pid\":1,\"tid\":{}", span.tid));
+    out.push_str(",\"args\":{");
+    out.push_str(&format!("\"trace_id\":{}", span.trace_id));
+    for (k, v) in &span.attrs {
+        out.push_str(",\"");
+        escape_json(k, &mut out);
+        out.push_str("\":");
+        push_attr_value(v, &mut out);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes spans as a full Chrome trace document (a JSON array of
+/// complete events, sorted by start time so timestamps are monotonic).
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    let mut sorted: Vec<&Span> = spans.iter().collect();
+    sorted.sort_by_key(|s| (s.start_ns, s.dur_ns));
+    let mut out = String::from("[\n");
+    for (i, span) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&chrome_event_json(span));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanKind;
+    use ugrapher_util::json::{parse, Value};
+
+    fn span(name: &'static str, start: u64, dur: u64) -> Span {
+        Span {
+            name,
+            kind: SpanKind::Kernel,
+            trace_id: 3,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 1,
+            attrs: vec![
+                ("schedule", AttrValue::from("TE_G1_T1")),
+                ("time_ms", AttrValue::from(0.25)),
+            ],
+        }
+    }
+
+    #[test]
+    fn event_is_valid_json_with_expected_fields() {
+        let ev = chrome_event_json(&span("sim.kernel", 2_000, 1_500));
+        let v = parse(&ev).expect("event parses");
+        assert_eq!(v.field("ph").unwrap(), &Value::Str("X".into()));
+        assert_eq!(v.field("cat").unwrap(), &Value::Str("kernel".into()));
+        assert_eq!(v.field("ts").unwrap(), &Value::Num(2.0));
+        assert_eq!(v.field("dur").unwrap(), &Value::Num(1.5));
+        let args = v.field("args").unwrap();
+        assert_eq!(args.field("trace_id").unwrap(), &Value::Num(3.0));
+        assert_eq!(
+            args.field("schedule").unwrap(),
+            &Value::Str("TE_G1_T1".into())
+        );
+    }
+
+    #[test]
+    fn trace_document_parses_and_is_sorted() {
+        let spans = vec![span("b", 500, 10), span("a", 100, 10)];
+        let doc = chrome_trace_json(&spans);
+        let v = parse(&doc).expect("trace parses");
+        let Value::Arr(events) = v else {
+            panic!("expected array")
+        };
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].field("name").unwrap(), &Value::Str("a".into()));
+    }
+
+    #[test]
+    fn escaping_keeps_json_well_formed() {
+        let mut s = span("sim.kernel", 0, 1);
+        s.attrs
+            .push(("detail", AttrValue::from("quote \" slash \\ tab\tnl\n")));
+        let ev = chrome_event_json(&s);
+        parse(&ev).expect("escaped event parses");
+    }
+
+    #[test]
+    fn non_finite_attrs_become_null() {
+        let mut s = span("sim.kernel", 0, 1);
+        s.attrs.push(("bad", AttrValue::F64(f64::NAN)));
+        let ev = chrome_event_json(&s);
+        parse(&ev).expect("NaN attr serialized as null still parses");
+        assert!(ev.contains("\"bad\":null"));
+    }
+}

@@ -1,0 +1,144 @@
+//! # ugrapher-obs
+//!
+//! End-to-end observability for the uGrapher runtime: tracing spans,
+//! cumulative metrics, and profile rollups — with a strict
+//! *zero-cost-when-disabled* contract.
+//!
+//! * [`span`] — the [`Span`]/[`SpanKind`]/[`AttrValue`] event model;
+//! * [`recorder`] — the [`Recorder`] handle and pluggable [`Sink`]s:
+//!   an in-memory ring buffer, an incremental JSONL writer, and a Chrome
+//!   `trace_event` file exporter loadable in Perfetto/`about://tracing`;
+//! * [`metrics`] — the cumulative [`MetricsRegistry`] of counters and
+//!   histograms with Prometheus-text and JSON export;
+//! * [`profile`] — [`ProfileReport`], which folds a span list back into a
+//!   merged call tree with self/total times and a flamegraph-style table;
+//! * [`chrome`] — the `trace_event` serialization shared by the sinks;
+//! * [`trace_check`] — the validator behind the `trace-check` binary and
+//!   CI gate.
+//!
+//! ## The disabled fast path
+//!
+//! The default recorder is [`Recorder::disabled`]: opening a span is a
+//! branch on an `Option` returning an inert guard — no clock read, no
+//! allocation, no locking. Instrumented code can stay unconditional:
+//!
+//! ```
+//! use ugrapher_obs::{Recorder, SpanKind};
+//!
+//! let rec = Recorder::disabled();
+//! let mut span = rec.span("sim.kernel", SpanKind::Kernel);
+//! if span.is_enabled() {
+//!     span.attr("schedule", "TV_G1_T1"); // skipped entirely when off
+//! }
+//! // span records itself (nowhere, here) when dropped
+//! ```
+//!
+//! ## The global recorder
+//!
+//! Library layers that have no handle to thread a [`Recorder`] through
+//! (functional execution, GNN model code) use the process-global recorder,
+//! which starts disabled. Install one early — directly with [`install`] or
+//! from the `UGRAPHER_TRACE` environment variable with [`init_from_env`]:
+//!
+//! ```no_run
+//! // UGRAPHER_TRACE=trace.json  → Chrome trace file (written on flush/exit)
+//! // UGRAPHER_TRACE=trace.jsonl → incremental JSONL (one event per line)
+//! ugrapher_obs::init_from_env();
+//! ```
+
+pub mod chrome;
+pub mod metrics;
+pub mod profile;
+pub mod recorder;
+pub mod span;
+pub mod trace_check;
+
+pub use metrics::MetricsRegistry;
+pub use profile::{Frame, ProfileReport};
+pub use recorder::{Recorder, RecorderBuilder, RingHandle, Sink, SpanGuard};
+pub use span::{AttrValue, Span, SpanKind};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+/// The process-global recorder. Disabled until [`install`] (or
+/// [`init_from_env`]) succeeds — at zero cost for code that opens spans
+/// against it.
+pub fn global() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::disabled)
+}
+
+/// Installs `recorder` as the process-global recorder. Returns `false` if
+/// a global recorder was already fixed (first install wins, including the
+/// implicit disabled one created by the first [`global`] call).
+pub fn install(recorder: Recorder) -> bool {
+    GLOBAL.set(recorder).is_ok()
+}
+
+/// Installs a global recorder from the `UGRAPHER_TRACE` environment
+/// variable, if set:
+///
+/// * a path ending in `.jsonl` → incremental JSONL sink;
+/// * any other path → Chrome `trace_event` file sink (written on flush and
+///   when the last handle drops).
+///
+/// Returns `true` when a recorder was installed by this call. `false`
+/// means the variable is unset, the file could not be created, or a global
+/// recorder was already fixed.
+pub fn init_from_env() -> bool {
+    let Ok(path) = std::env::var("UGRAPHER_TRACE") else {
+        return false;
+    };
+    if path.is_empty() {
+        return false;
+    }
+    let mut builder = Recorder::builder();
+    if path.ends_with(".jsonl") {
+        if builder.jsonl_file(&path).is_err() {
+            return false;
+        }
+    } else {
+        builder.chrome_file(&path);
+    }
+    install(builder.build())
+}
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Issues a fresh non-zero trace id. Runtime entry points stamp one onto
+/// the result (`UGrapherResult::trace_id`) and every span of the request,
+/// so a trace can be joined back to the call that produced it.
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_non_zero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn global_starts_disabled_and_install_is_first_wins() {
+        // Note: process-wide state — this test must not assume it runs
+        // first. Whatever the global is, it is fixed after observation.
+        let was_enabled = global().is_enabled();
+        let installed = install(Recorder::builder().build());
+        if installed {
+            assert!(!was_enabled, "install succeeded, so global was unset");
+            assert!(global().is_enabled());
+        }
+        assert!(
+            !install(Recorder::disabled()),
+            "second install never succeeds"
+        );
+    }
+}

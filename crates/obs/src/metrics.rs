@@ -1,0 +1,346 @@
+//! Cumulative counters and histograms with Prometheus-text and JSON
+//! snapshot export.
+//!
+//! The registry is deliberately simple: counters are monotonically
+//! increasing `u64`s, histograms have fixed log-spaced millisecond
+//! buckets, and labels are embedded in the metric key using the
+//! Prometheus convention (`name{stage="predictor"}`). Everything lives
+//! behind one mutex per kind — metric updates sit next to work that costs
+//! microseconds to milliseconds (kernel simulation, tuning), so
+//! contention is not a concern.
+//!
+//! Use [`MetricsRegistry::global`] for the process-wide registry the
+//! runtime increments, or construct a private registry for tests.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Counter: simulated kernel launches ([`crate::SpanKind::Kernel`] spans).
+pub const KERNELS_LAUNCHED: &str = "ugrapher_kernels_launched_total";
+/// Counter: candidate schedules evaluated by the tuner.
+pub const TUNING_EVALUATIONS: &str = "ugrapher_tuning_evaluations_total";
+/// Counter: `Runtime::run` invocations.
+pub const RUNS: &str = "ugrapher_runs_total";
+/// Counter (labeled `stage`): fallback activations recorded as
+/// `RobustnessReport` downgrades.
+pub const FALLBACKS: &str = "ugrapher_fallbacks_total";
+/// Counter (labeled `fault`): faults armed by the simulator's injector.
+pub const FAULT_INJECTIONS: &str = "ugrapher_fault_injections_total";
+/// Counter: operator × schedule combinations checked by the analyzer sweep.
+pub const ANALYZE_COMBOS: &str = "ugrapher_analyze_combos_total";
+/// Histogram (labeled `strategy`): simulated kernel time per strategy.
+pub const KERNEL_TIME_MS: &str = "ugrapher_kernel_time_ms";
+/// Histogram: end-to-end `Runtime::run` simulated time.
+pub const RUN_TIME_MS: &str = "ugrapher_run_time_ms";
+
+/// Upper bounds (`le`) of the histogram buckets, in the observed unit
+/// (milliseconds for the built-in time histograms). An implicit `+Inf`
+/// bucket follows.
+pub const BUCKET_BOUNDS: [f64; 12] = [
+    0.001, 0.0032, 0.01, 0.032, 0.1, 0.32, 1.0, 3.2, 10.0, 32.0, 100.0, 320.0,
+];
+
+/// One histogram's state: fixed-bucket counts plus sum/count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// Observation count per bucket of [`BUCKET_BOUNDS`], plus a final
+    /// `+Inf` bucket.
+    pub buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        let idx = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Cumulative count of observations `<=` bound `i` of
+    /// [`BUCKET_BOUNDS`] (Prometheus `le` semantics).
+    pub fn cumulative(&self, i: usize) -> u64 {
+        self.buckets[..=i].iter().sum()
+    }
+}
+
+/// A registry of named counters and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Formats a labeled metric key, `name{key="value"}`. Label values are
+/// escaped per the Prometheus text format.
+pub fn labeled(name: &str, label_key: &str, label_value: &str) -> String {
+    let escaped = label_value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    format!("{name}{{{label_key}=\"{escaped}\"}}")
+}
+
+/// Splits a metric key into `(base_name, labels)` where labels retain
+/// their surrounding braces' content (`stage="predictor"`), or `None`.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.find('{') {
+        Some(i) => (&key[..i], Some(key[i + 1..].trim_end_matches('}'))),
+        None => (key, None),
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (for tests and scoped measurements).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-global registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&self, name: &str) {
+        self.inc_by(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn inc_by(&self, name: &str, n: u64) {
+        let mut counters = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        *counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments the labeled variant of a counter,
+    /// e.g. `inc_labeled(FALLBACKS, "stage", "predictor")`.
+    pub fn inc_labeled(&self, name: &str, label_key: &str, label_value: &str) {
+        self.inc(&labeled(name, label_key, label_value));
+    }
+
+    /// Records one observation into a histogram. Non-finite values are
+    /// dropped (they would poison `sum`).
+    pub fn observe(&self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut hists = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        hists.entry(name.to_owned()).or_default().observe(value);
+    }
+
+    /// Records one observation into a labeled histogram.
+    pub fn observe_labeled(&self, name: &str, label_key: &str, label_value: &str, value: f64) {
+        self.observe(&labeled(name, label_key, label_value), value);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current state of a histogram, if it has observations.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// A point-in-time copy of every histogram.
+    pub fn histograms_snapshot(&self) -> BTreeMap<String, Histogram> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let counters = self.counters_snapshot();
+        let histograms = self.histograms_snapshot();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (key, value) in &counters {
+            let (base, _) = split_key(key);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} counter\n"));
+                last_base = base.to_owned();
+            }
+            out.push_str(&format!("{key} {value}\n"));
+        }
+        for (key, hist) in &histograms {
+            let (base, labels) = split_key(key);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                last_base = base.to_owned();
+            }
+            let with = |extra: &str| match labels {
+                Some(l) => format!("{base}{{{l},{extra}}}"),
+                None => format!("{base}{{{extra}}}"),
+            };
+            for (i, bound) in BUCKET_BOUNDS.iter().enumerate() {
+                out.push_str(&format!(
+                    "{} {}\n",
+                    with(&format!("le=\"{bound}\"")),
+                    hist.cumulative(i)
+                ));
+            }
+            out.push_str(&format!("{} {}\n", with("le=\"+Inf\""), hist.count));
+            let plain = |suffix: &str| match labels {
+                Some(l) => format!("{base}_{suffix}{{{l}}}"),
+                None => format!("{base}_{suffix}"),
+            };
+            out.push_str(&format!("{} {}\n", plain("sum"), hist.sum));
+            out.push_str(&format!("{} {}\n", plain("count"), hist.count));
+        }
+        out
+    }
+
+    /// Renders every metric as a JSON object
+    /// (`{"counters": {...}, "histograms": {...}}`).
+    pub fn json_snapshot(&self) -> String {
+        use crate::chrome::escape_json;
+        let counters = self.counters_snapshot();
+        let histograms = self.histograms_snapshot();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (key, value)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(key, &mut out);
+            out.push_str(&format!("\":{value}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (key, hist)) in histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json(key, &mut out);
+            out.push_str(&format!(
+                "\":{{\"count\":{},\"sum\":{},\"buckets\":[",
+                hist.count, hist.sum
+            ));
+            for (j, b) in hist.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{b}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.counter(RUNS), 0);
+        m.inc(RUNS);
+        m.inc_by(RUNS, 4);
+        assert_eq!(m.counter(RUNS), 5);
+    }
+
+    #[test]
+    fn labeled_counters_are_distinct() {
+        let m = MetricsRegistry::new();
+        m.inc_labeled(FALLBACKS, "stage", "predictor");
+        m.inc_labeled(FALLBACKS, "stage", "predictor");
+        m.inc_labeled(FALLBACKS, "stage", "grid-search");
+        assert_eq!(m.counter(&labeled(FALLBACKS, "stage", "predictor")), 2);
+        assert_eq!(m.counter(&labeled(FALLBACKS, "stage", "grid-search")), 1);
+        assert_eq!(m.counter(FALLBACKS), 0, "bare name is a different key");
+    }
+
+    #[test]
+    fn histogram_buckets_and_cumulative_counts() {
+        let m = MetricsRegistry::new();
+        for v in [0.0005, 0.05, 0.05, 5.0, 5000.0] {
+            m.observe(RUN_TIME_MS, v);
+        }
+        m.observe(RUN_TIME_MS, f64::NAN); // dropped
+        let h = m.histogram(RUN_TIME_MS).expect("histogram exists");
+        assert_eq!(h.count, 5);
+        assert!((h.sum - 5005.1005).abs() < 1e-9);
+        assert_eq!(h.buckets[BUCKET_BOUNDS.len()], 1, "+Inf bucket");
+        assert_eq!(h.cumulative(BUCKET_BOUNDS.len() - 1), 4);
+        assert_eq!(h.cumulative(0), 1);
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines_and_values() {
+        let m = MetricsRegistry::new();
+        m.inc(KERNELS_LAUNCHED);
+        m.inc_labeled(FALLBACKS, "stage", "tune-budget");
+        m.observe_labeled(KERNEL_TIME_MS, "strategy", "thread-vertex", 0.5);
+        let text = m.prometheus_text();
+        assert!(text.contains("# TYPE ugrapher_kernels_launched_total counter"));
+        assert!(text.contains("ugrapher_kernels_launched_total 1"));
+        assert!(text.contains("ugrapher_fallbacks_total{stage=\"tune-budget\"} 1"));
+        assert!(text.contains("# TYPE ugrapher_kernel_time_ms histogram"));
+        assert!(text.contains("ugrapher_kernel_time_ms{strategy=\"thread-vertex\",le=\"1\"} 1"));
+        assert!(text.contains("ugrapher_kernel_time_ms_sum{strategy=\"thread-vertex\"} 0.5"));
+        assert!(text.contains("ugrapher_kernel_time_ms_count{strategy=\"thread-vertex\"} 1"));
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_json() {
+        let m = MetricsRegistry::new();
+        m.inc(RUNS);
+        m.observe(RUN_TIME_MS, 1.25);
+        let json = m.json_snapshot();
+        let v = ugrapher_util::json::parse(&json).expect("snapshot parses");
+        assert_eq!(
+            v.field("counters")
+                .unwrap()
+                .field(RUNS)
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            1.0
+        );
+        let h = v.field("histograms").unwrap().field(RUN_TIME_MS).unwrap();
+        assert_eq!(h.field("count").unwrap().as_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = MetricsRegistry::global() as *const _;
+        let b = MetricsRegistry::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let key = labeled("m", "k", "has \"quotes\" and \\slash");
+        assert_eq!(key, "m{k=\"has \\\"quotes\\\" and \\\\slash\"}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Profile rollups: turn a flat list of completed [`Span`]s back into a
+//! merged call tree with per-frame call counts, total and self time, and
+//! a flamegraph-style text table.
+//!
+//! Nesting is reconstructed per thread from interval containment (the
+//! recorder emits *complete* spans, so a parent strictly contains the
+//! spans opened inside it on the same thread), then frames with the same
+//! name and detail are merged at each depth. Roots from every thread are
+//! merged into one forest, so parallel tuner workers collapse into a
+//! single `tune.candidate` row.
+
+use crate::span::{Span, SpanKind};
+use std::collections::BTreeMap;
+
+/// One merged frame of the profile tree.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Span name shared by every span merged into this frame.
+    pub name: &'static str,
+    /// Optional discriminator derived from span attributes (`layer`, `op`),
+    /// so e.g. per-layer GNN work stays separate in the table.
+    pub detail: Option<String>,
+    /// The layer of the stack that emitted the merged spans.
+    pub kind: SpanKind,
+    /// Number of spans merged into this frame.
+    pub calls: u64,
+    /// Total duration across merged spans (includes child time).
+    pub total_ns: u64,
+    /// Total duration minus direct children's duration.
+    pub self_ns: u64,
+    /// Child frames, sorted by descending total time.
+    pub children: Vec<Frame>,
+}
+
+/// One row of the flat per-(name, detail) aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatRow {
+    /// Span name.
+    pub name: &'static str,
+    /// Detail discriminator (see [`Frame::detail`]).
+    pub detail: Option<String>,
+    /// Emitting layer.
+    pub kind: SpanKind,
+    /// Number of spans aggregated.
+    pub calls: u64,
+    /// Total duration (includes child time; comparable across rows only
+    /// at the same depth of the tree).
+    pub total_ns: u64,
+    /// Self time — the exclusive cost of this frame, safe to sum.
+    pub self_ns: u64,
+}
+
+/// A rollup of one trace: the merged call forest plus coverage stats.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    /// Merged root frames across all threads, sorted by total time.
+    pub roots: Vec<Frame>,
+    /// Number of spans rolled up.
+    pub span_count: usize,
+    /// Wall-clock extent of the trace (first start to last end), ns.
+    pub wall_ns: u64,
+    /// Portion of `wall_ns` covered by at least one span, ns.
+    pub covered_ns: u64,
+}
+
+/// Derives the detail discriminator for a span: `L<layer>` and/or the
+/// `op` attribute, joined with a space.
+fn detail_of(span: &Span) -> Option<String> {
+    let mut parts = Vec::new();
+    if let Some(layer) = span.attr_str("layer") {
+        parts.push(format!("L{layer}"));
+    }
+    if let Some(op) = span.attr_str("op") {
+        parts.push(op);
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(" "))
+    }
+}
+
+type FrameKey = (&'static str, Option<String>);
+
+/// Accumulator for one (name, detail) key at one depth.
+struct Acc {
+    kind: SpanKind,
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    child_idxs: Vec<usize>,
+}
+
+/// Merges the spans at `idxs` (siblings at one depth) into frames,
+/// recursing into their children.
+fn fold(idxs: &[usize], spans: &[Span], kids: &[Vec<usize>]) -> Vec<Frame> {
+    let mut map: BTreeMap<FrameKey, Acc> = BTreeMap::new();
+    for &i in idxs {
+        let span = &spans[i];
+        let child_sum: u64 = kids[i].iter().map(|&c| spans[c].dur_ns).sum();
+        let acc = map.entry((span.name, detail_of(span))).or_insert(Acc {
+            kind: span.kind,
+            calls: 0,
+            total_ns: 0,
+            self_ns: 0,
+            child_idxs: Vec::new(),
+        });
+        acc.calls += 1;
+        acc.total_ns += span.dur_ns;
+        acc.self_ns += span.dur_ns.saturating_sub(child_sum);
+        acc.child_idxs.extend_from_slice(&kids[i]);
+    }
+    let mut frames: Vec<Frame> = map
+        .into_iter()
+        .map(|((name, detail), acc)| Frame {
+            name,
+            detail,
+            kind: acc.kind,
+            calls: acc.calls,
+            total_ns: acc.total_ns,
+            self_ns: acc.self_ns,
+            children: fold(&acc.child_idxs, spans, kids),
+        })
+        .collect();
+    frames.sort_by_key(|f| std::cmp::Reverse(f.total_ns));
+    frames
+}
+
+impl ProfileReport {
+    /// Builds a rollup from completed spans (any order, any threads).
+    pub fn from_spans(spans: &[Span]) -> ProfileReport {
+        if spans.is_empty() {
+            return ProfileReport {
+                roots: Vec::new(),
+                span_count: 0,
+                wall_ns: 0,
+                covered_ns: 0,
+            };
+        }
+
+        // Reconstruct parent/child links per thread via containment.
+        let mut by_tid: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, s) in spans.iter().enumerate() {
+            by_tid.entry(s.tid).or_default().push(i);
+        }
+        let mut kids: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+        let mut roots: Vec<usize> = Vec::new();
+        for order in by_tid.values_mut() {
+            // Parents sort before children: earlier start first, and at
+            // equal starts the longer (containing) span first.
+            order.sort_by_key(|&i| (spans[i].start_ns, u64::MAX - spans[i].dur_ns));
+            let mut stack: Vec<usize> = Vec::new();
+            for &i in order.iter() {
+                while let Some(&top) = stack.last() {
+                    let contains = spans[top].start_ns <= spans[i].start_ns
+                        && spans[top].end_ns() >= spans[i].end_ns();
+                    if contains {
+                        break;
+                    }
+                    stack.pop();
+                }
+                match stack.last() {
+                    Some(&parent) => kids[parent].push(i),
+                    None => roots.push(i),
+                }
+                stack.push(i);
+            }
+        }
+
+        // Wall-clock extent and interval-union coverage.
+        let min_start = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let max_end = spans.iter().map(Span::end_ns).max().unwrap_or(0);
+        let mut intervals: Vec<(u64, u64)> =
+            spans.iter().map(|s| (s.start_ns, s.end_ns())).collect();
+        intervals.sort_unstable();
+        let mut covered_ns = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (start, end) in intervals {
+            match cur {
+                Some((cs, ce)) if start <= ce => cur = Some((cs, ce.max(end))),
+                Some((cs, ce)) => {
+                    covered_ns += ce - cs;
+                    cur = Some((start, end));
+                }
+                None => cur = Some((start, end)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            covered_ns += ce - cs;
+        }
+
+        ProfileReport {
+            roots: fold(&roots, spans, &kids),
+            span_count: spans.len(),
+            wall_ns: max_end.saturating_sub(min_start),
+            covered_ns,
+        }
+    }
+
+    /// Fraction of the trace's wall-clock extent covered by at least one
+    /// span, in `[0, 1]`. An empty trace has coverage 0.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.covered_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Flat per-(name, detail) totals across the whole tree, sorted by
+    /// descending self time.
+    pub fn flat(&self) -> Vec<FlatRow> {
+        fn walk(frames: &[Frame], map: &mut BTreeMap<FrameKey, FlatRow>) {
+            for f in frames {
+                let row = map.entry((f.name, f.detail.clone())).or_insert(FlatRow {
+                    name: f.name,
+                    detail: f.detail.clone(),
+                    kind: f.kind,
+                    calls: 0,
+                    total_ns: 0,
+                    self_ns: 0,
+                });
+                row.calls += f.calls;
+                row.total_ns += f.total_ns;
+                row.self_ns += f.self_ns;
+                walk(&f.children, map);
+            }
+        }
+        let mut map = BTreeMap::new();
+        walk(&self.roots, &mut map);
+        let mut rows: Vec<FlatRow> = map.into_values().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.self_ns));
+        rows
+    }
+
+    /// Looks up a frame anywhere in the tree by name (first match,
+    /// depth-first in total-time order).
+    pub fn find(&self, name: &str) -> Option<&Frame> {
+        fn search<'a>(frames: &'a [Frame], name: &str) -> Option<&'a Frame> {
+            for f in frames {
+                if f.name == name {
+                    return Some(f);
+                }
+                if let Some(hit) = search(&f.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        search(&self.roots, name)
+    }
+}
+
+fn push_rows(out: &mut String, frames: &[Frame], depth: usize, wall_ns: u64) {
+    for f in frames {
+        let label = match &f.detail {
+            Some(d) => format!("{} [{}]", f.name, d),
+            None => f.name.to_owned(),
+        };
+        let indented = format!("{:indent$}{label}", "", indent = depth * 2);
+        let pct = if wall_ns == 0 {
+            0.0
+        } else {
+            100.0 * f.total_ns as f64 / wall_ns as f64
+        };
+        out.push_str(&format!(
+            "{indented:<44} {:>8} {:>12.3} {:>12.3} {:>6.1}\n",
+            f.calls,
+            f.total_ns as f64 / 1e6,
+            f.self_ns as f64 / 1e6,
+            pct,
+        ));
+        push_rows(out, &f.children, depth + 1, wall_ns);
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    /// Flamegraph-style table: one indented row per merged frame.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>8} {:>12} {:>12} {:>6}\n",
+            "span", "calls", "total(ms)", "self(ms)", "%wall"
+        ));
+        push_rows(&mut out, &self.roots, 0, self.wall_ns);
+        out.push_str(&format!(
+            "{} spans, wall {:.3} ms, coverage {:.1}%\n",
+            self.span_count,
+            self.wall_ns as f64 / 1e6,
+            100.0 * self.coverage(),
+        ));
+        f.write_str(&out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::AttrValue;
+
+    fn span(name: &'static str, tid: u64, start: u64, dur: u64) -> Span {
+        Span {
+            name,
+            kind: SpanKind::Other,
+            trace_id: 0,
+            start_ns: start,
+            dur_ns: dur,
+            tid,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn nesting_and_self_time() {
+        // root [0, 100) with children [10, 30) and [40, 80); grandchild
+        // [45, 55) inside the second child.
+        let spans = vec![
+            span("root", 1, 0, 100),
+            span("child", 1, 10, 20),
+            span("child", 1, 40, 40),
+            span("grand", 1, 45, 10),
+        ];
+        let p = ProfileReport::from_spans(&spans);
+        assert_eq!(p.roots.len(), 1);
+        let root = &p.roots[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.total_ns, 100);
+        assert_eq!(root.self_ns, 100 - 20 - 40);
+        assert_eq!(root.children.len(), 1, "both `child` spans merge");
+        let child = &root.children[0];
+        assert_eq!(child.calls, 2);
+        assert_eq!(child.total_ns, 60);
+        assert_eq!(child.self_ns, 60 - 10);
+        assert_eq!(child.children[0].name, "grand");
+    }
+
+    #[test]
+    fn threads_merge_at_the_root() {
+        let spans = vec![span("work", 1, 0, 50), span("work", 2, 10, 50)];
+        let p = ProfileReport::from_spans(&spans);
+        assert_eq!(p.roots.len(), 1);
+        assert_eq!(p.roots[0].calls, 2);
+        assert_eq!(p.roots[0].total_ns, 100);
+    }
+
+    #[test]
+    fn coverage_is_interval_union() {
+        // [0, 50) and [40, 100) overlap: union 100 over wall 100.
+        let full = ProfileReport::from_spans(&[span("a", 1, 0, 50), span("b", 2, 40, 60)]);
+        assert!((full.coverage() - 1.0).abs() < 1e-12);
+        // [0, 10) and [90, 100): union 20 over wall 100.
+        let gap = ProfileReport::from_spans(&[span("a", 1, 0, 10), span("b", 1, 90, 10)]);
+        assert!((gap.coverage() - 0.2).abs() < 1e-12);
+        assert_eq!(ProfileReport::from_spans(&[]).coverage(), 0.0);
+    }
+
+    #[test]
+    fn detail_splits_layers() {
+        let mut a = span("gnn.op", 1, 0, 10);
+        a.attrs.push(("layer", AttrValue::from(0u64)));
+        a.attrs.push(("op", AttrValue::from("u_mul_e_sum")));
+        let mut b = span("gnn.op", 1, 20, 10);
+        b.attrs.push(("layer", AttrValue::from(1u64)));
+        b.attrs.push(("op", AttrValue::from("u_mul_e_sum")));
+        let p = ProfileReport::from_spans(&[a, b]);
+        assert_eq!(p.roots.len(), 2, "layers stay separate");
+        assert_eq!(p.roots[0].detail.as_deref(), Some("L0 u_mul_e_sum"));
+    }
+
+    #[test]
+    fn flat_rows_and_find() {
+        let spans = vec![
+            span("root", 1, 0, 100),
+            span("leaf", 1, 10, 20),
+            span("leaf", 1, 40, 20),
+        ];
+        let p = ProfileReport::from_spans(&spans);
+        let flat = p.flat();
+        assert_eq!(flat.len(), 2);
+        // root self = 60 > leaf self = 40.
+        assert_eq!(flat[0].name, "root");
+        assert_eq!(flat[0].self_ns, 60);
+        assert_eq!(flat[1].self_ns, 40);
+        assert_eq!(p.find("leaf").map(|f| f.calls), Some(2));
+        assert!(p.find("missing").is_none());
+        let table = p.to_string();
+        assert!(table.contains("root"));
+        assert!(table.contains("coverage 100.0%"));
+    }
+}

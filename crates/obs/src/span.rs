@@ -1,0 +1,201 @@
+//! The span/event model.
+//!
+//! A [`Span`] is one timed region of work: a kernel launch, a tuner
+//! candidate evaluation, a model layer, a whole `Runtime::run` call. Spans
+//! carry a static name (the *what*), a [`SpanKind`] (the *layer* of the
+//! stack that emitted it), wall-clock timing in nanoseconds relative to the
+//! recorder's epoch, the emitting thread, an optional `trace_id` joining
+//! the span to a [`crate::Recorder`]-issued request id, and a small list of
+//! typed attributes (schedule labels, `SimReport` metrics, …).
+
+/// Which layer of the stack emitted a span. Exported as the Chrome trace
+/// `cat` field, so Perfetto can filter per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// `Runtime::run` / `measure_only` / the public API surface.
+    Runtime,
+    /// Schedule selection: grid-search candidates, predictor scoring.
+    Tune,
+    /// One simulated kernel launch.
+    Kernel,
+    /// Functional (semantic) operator execution.
+    Exec,
+    /// GNN model structure: inference, layers, GEMM, element-wise.
+    Model,
+    /// Static/dynamic analysis passes.
+    Analyze,
+    /// Anything else (examples, benchmarks, user code).
+    Other,
+}
+
+impl SpanKind {
+    /// Stable lower-case label (used as the Chrome trace category).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanKind::Runtime => "runtime",
+            SpanKind::Tune => "tune",
+            SpanKind::Kernel => "kernel",
+            SpanKind::Exec => "exec",
+            SpanKind::Model => "model",
+            SpanKind::Analyze => "analyze",
+            SpanKind::Other => "other",
+        }
+    }
+}
+
+/// One typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute (schedule label, operator name, …).
+    Str(String),
+    /// A float attribute (times, rates, byte counts).
+    F64(f64),
+    /// An unsigned integer attribute (counts, ids).
+    U64(u64),
+    /// A boolean attribute (flags).
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl std::fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttrValue::Str(s) => f.write_str(s),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Static span name, e.g. `"sim.kernel"` or `"tune.candidate"`.
+    /// Variable detail (operator labels, schedules) goes in `attrs`.
+    pub name: &'static str,
+    /// The stack layer that emitted the span.
+    pub kind: SpanKind,
+    /// Request id issued by [`crate::next_trace_id`]; `0` when the span is
+    /// not part of a traced request.
+    pub trace_id: u64,
+    /// Start time in nanoseconds since the recorder's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Small dense id of the emitting thread (not the OS tid).
+    pub tid: u64,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span {
+    /// End time in nanoseconds since the recorder's epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+
+    /// Looks up an attribute by key (first match).
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// String form of an attribute, if present.
+    pub fn attr_str(&self, key: &str) -> Option<String> {
+        self.attr(key).map(|v| v.to_string())
+    }
+}
+
+/// Dense per-thread ids: Chrome traces want small integer `tid`s, and
+/// `std::thread::ThreadId` has no stable public integer form.
+pub(crate) fn current_tid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_lookup_and_display() {
+        let s = Span {
+            name: "x",
+            kind: SpanKind::Kernel,
+            trace_id: 7,
+            start_ns: 10,
+            dur_ns: 5,
+            tid: 1,
+            attrs: vec![
+                ("schedule", AttrValue::from("TV_G1_T1")),
+                ("time_ms", AttrValue::from(1.5)),
+                ("kernels", AttrValue::from(3usize)),
+                ("degraded", AttrValue::from(false)),
+            ],
+        };
+        assert_eq!(s.end_ns(), 15);
+        assert_eq!(s.attr_str("schedule").as_deref(), Some("TV_G1_T1"));
+        assert_eq!(s.attr_str("time_ms").as_deref(), Some("1.5"));
+        assert_eq!(s.attr_str("kernels").as_deref(), Some("3"));
+        assert_eq!(s.attr_str("degraded").as_deref(), Some("false"));
+        assert!(s.attr("missing").is_none());
+    }
+
+    #[test]
+    fn tids_are_stable_within_a_thread() {
+        assert_eq!(current_tid(), current_tid());
+        let other = std::thread::spawn(current_tid).join().expect("join");
+        assert_ne!(current_tid(), other);
+    }
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let kinds = [
+            SpanKind::Runtime,
+            SpanKind::Tune,
+            SpanKind::Kernel,
+            SpanKind::Exec,
+            SpanKind::Model,
+            SpanKind::Analyze,
+            SpanKind::Other,
+        ];
+        let mut labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), kinds.len());
+    }
+}

@@ -1,0 +1,343 @@
+//! Validation of exported traces, used by CI (`trace-check` binary) and
+//! tests.
+//!
+//! Two formats are accepted, matching the two file sinks:
+//!
+//! * **Chrome trace** (`.json`): one JSON array of complete events,
+//!   required to be sorted by start timestamp (the [`crate`] Chrome sink
+//!   sorts on flush);
+//! * **JSONL** (`.jsonl`): one complete event per line, written in span
+//!   *completion* order — so end timestamps must be non-decreasing per
+//!   thread (a thread serializes its own spans as they finish).
+//!
+//! Every event must be well-formed JSON with the `trace_event` complete
+//! shape (`ph == "X"`, numeric non-negative `ts`/`dur`, string `name` and
+//! `cat`, numeric `tid`, an `args` object carrying `trace_id`), and per
+//! thread the spans must nest: two spans on one thread either are
+//! disjoint or one contains the other. Partial overlap means a
+//! corrupted/interleaved trace.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use ugrapher_util::json::{parse, Value};
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Number of events validated.
+    pub events: usize,
+    /// Number of distinct thread ids.
+    pub threads: usize,
+    /// Earliest start timestamp, µs.
+    pub min_ts_us: f64,
+    /// Latest end timestamp (`ts + dur`), µs.
+    pub max_end_us: f64,
+    /// Number of distinct non-zero `trace_id`s.
+    pub trace_ids: usize,
+}
+
+impl TraceStats {
+    /// Wall-clock extent of the trace in milliseconds.
+    pub fn wall_ms(&self) -> f64 {
+        (self.max_end_us - self.min_ts_us) / 1_000.0
+    }
+}
+
+/// Timestamp slack in µs when comparing event bounds; absorbs the ns→µs
+/// float conversion.
+const EPS_US: f64 = 1e-3;
+
+/// One parsed event's fields needed for the structural checks.
+struct Event {
+    ts: f64,
+    dur: f64,
+    tid: u64,
+}
+
+/// Validates one event object; returns the fields used by later checks.
+/// `what` names the event ("event 3", "line 17") in error messages.
+fn check_event(v: &Value, what: &str) -> Result<Event, String> {
+    let obj = match v {
+        Value::Obj(_) => v,
+        _ => return Err(format!("{what}: not a JSON object")),
+    };
+    let str_field = |key: &str| -> Result<String, String> {
+        obj.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("{what}: missing string field `{key}`"))
+    };
+    let num_field = |key: &str| -> Result<f64, String> {
+        obj.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{what}: missing numeric field `{key}`"))
+    };
+    let name = str_field("name")?;
+    if name.is_empty() {
+        return Err(format!("{what}: empty `name`"));
+    }
+    str_field("cat")?;
+    if str_field("ph")? != "X" {
+        return Err(format!("{what}: `ph` is not \"X\""));
+    }
+    let ts = num_field("ts")?;
+    let dur = num_field("dur")?;
+    if !ts.is_finite() || ts < 0.0 {
+        return Err(format!("{what}: `ts` {ts} is negative or non-finite"));
+    }
+    if !dur.is_finite() || dur < 0.0 {
+        return Err(format!("{what}: `dur` {dur} is negative or non-finite"));
+    }
+    let tid = num_field("tid")?;
+    num_field("pid")?;
+    let args = obj
+        .get("args")
+        .ok_or_else(|| format!("{what}: missing `args`"))?;
+    if !matches!(args, Value::Obj(_)) {
+        return Err(format!("{what}: `args` is not an object"));
+    }
+    args.get("trace_id")
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what}: `args` missing numeric `trace_id`"))?;
+    Ok(Event {
+        ts,
+        dur,
+        tid: tid as u64,
+    })
+}
+
+/// Checks that spans on one thread nest (no partial overlap). `events`
+/// must belong to a single tid.
+fn check_nesting(mut events: Vec<(f64, f64)>, tid: u64) -> Result<(), String> {
+    // Sort by start asc, then longer span first so parents precede children.
+    events.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+    });
+    let mut stack: Vec<f64> = Vec::new(); // open span end times
+    for (ts, dur) in events {
+        let end = ts + dur;
+        // Close spans that ended at or before this start (disjoint).
+        while stack.last().is_some_and(|&top_end| top_end <= ts + EPS_US) {
+            stack.pop();
+        }
+        // Whatever remains open overlaps this span and must contain it.
+        if let Some(&top_end) = stack.last() {
+            if top_end + EPS_US < end {
+                return Err(format!(
+                    "tid {tid}: span [{ts}, {end}) partially overlaps an \
+                     enclosing span ending at {top_end} — unbalanced nesting"
+                ));
+            }
+        }
+        stack.push(end);
+    }
+    Ok(())
+}
+
+fn stats_of(events: &[Event], trace_id_count: usize) -> TraceStats {
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    TraceStats {
+        events: events.len(),
+        threads: tids.len(),
+        min_ts_us: events.iter().map(|e| e.ts).fold(f64::INFINITY, f64::min),
+        max_end_us: events.iter().map(|e| e.ts + e.dur).fold(0.0, f64::max),
+        trace_ids: trace_id_count,
+    }
+}
+
+fn count_trace_ids(values: &[&Value]) -> usize {
+    let mut ids: Vec<u64> = values
+        .iter()
+        .filter_map(|v| v.get("args").and_then(|a| a.get("trace_id")))
+        .filter_map(Value::as_f64)
+        .filter(|&id| id > 0.0)
+        .map(|id| id as u64)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
+fn group_by_tid(events: &[Event]) -> BTreeMap<u64, Vec<(f64, f64)>> {
+    let mut by_tid: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    for e in events {
+        by_tid.entry(e.tid).or_default().push((e.ts, e.dur));
+    }
+    by_tid
+}
+
+/// Validates a Chrome trace document (a JSON array of complete events).
+pub fn check_chrome_text(text: &str) -> Result<TraceStats, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let Value::Arr(items) = &doc else {
+        return Err("top level is not a JSON array".to_owned());
+    };
+    if items.is_empty() {
+        return Err("trace contains no events".to_owned());
+    }
+    let mut events = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        events.push(check_event(item, &format!("event {i}"))?);
+    }
+    // The Chrome sink sorts by start time on flush; require it so
+    // downstream tools can stream the file.
+    for pair in events.windows(2) {
+        if pair[1].ts + EPS_US < pair[0].ts {
+            return Err(format!(
+                "timestamps not monotonic: ts {} follows ts {}",
+                pair[1].ts, pair[0].ts
+            ));
+        }
+    }
+    for (tid, intervals) in group_by_tid(&events) {
+        check_nesting(intervals, tid)?;
+    }
+    let refs: Vec<&Value> = items.iter().collect();
+    Ok(stats_of(&events, count_trace_ids(&refs)))
+}
+
+/// Validates a JSONL trace (one complete event per line, completion
+/// order).
+pub fn check_jsonl_text(text: &str) -> Result<TraceStats, String> {
+    let mut events = Vec::new();
+    let mut values = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let what = format!("line {}", lineno + 1);
+        let v = parse(line).map_err(|e| format!("{what}: not valid JSON: {e}"))?;
+        events.push(check_event(&v, &what)?);
+        values.push(v);
+    }
+    if events.is_empty() {
+        return Err("trace contains no events".to_owned());
+    }
+    // A thread writes its own spans as they finish, so per thread the end
+    // timestamps are non-decreasing.
+    let mut last_end: BTreeMap<u64, f64> = BTreeMap::new();
+    for e in &events {
+        let end = e.ts + e.dur;
+        if let Some(&prev) = last_end.get(&e.tid) {
+            if end + EPS_US < prev {
+                return Err(format!(
+                    "tid {}: end timestamps not monotonic ({end} after {prev})",
+                    e.tid
+                ));
+            }
+        }
+        last_end.insert(e.tid, end);
+    }
+    for (tid, intervals) in group_by_tid(&events) {
+        check_nesting(intervals, tid)?;
+    }
+    let refs: Vec<&Value> = values.iter().collect();
+    Ok(stats_of(&events, count_trace_ids(&refs)))
+}
+
+/// Validates a trace file, picking the format from the extension
+/// (`.jsonl` → JSONL, anything else → Chrome array).
+pub fn check_file(path: &Path) -> Result<TraceStats, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        check_jsonl_text(&text)
+    } else {
+        check_chrome_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{chrome_event_json, chrome_trace_json};
+    use crate::span::{AttrValue, Span, SpanKind};
+
+    fn span(name: &'static str, tid: u64, start: u64, dur: u64) -> Span {
+        Span {
+            name,
+            kind: SpanKind::Kernel,
+            trace_id: 1,
+            start_ns: start,
+            dur_ns: dur,
+            tid,
+            attrs: vec![("time_ms", AttrValue::from(0.5))],
+        }
+    }
+
+    #[test]
+    fn valid_chrome_trace_passes() {
+        let spans = vec![
+            span("root", 1, 0, 100_000),
+            span("child", 1, 10_000, 20_000),
+            span("other", 2, 5_000, 50_000),
+        ];
+        let stats = check_chrome_text(&chrome_trace_json(&spans)).expect("valid");
+        assert_eq!(stats.events, 3);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.trace_ids, 1);
+        assert!((stats.wall_ms() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn valid_jsonl_trace_passes() {
+        // Completion order: child finishes before root.
+        let lines = [
+            chrome_event_json(&span("child", 1, 10_000, 20_000)),
+            chrome_event_json(&span("root", 1, 0, 100_000)),
+        ]
+        .join("\n");
+        let stats = check_jsonl_text(&lines).expect("valid");
+        assert_eq!(stats.events, 2);
+    }
+
+    #[test]
+    fn partial_overlap_is_rejected() {
+        // [0, 50) and [25, 75) on one tid: neither disjoint nor nested.
+        let spans = vec![span("a", 1, 0, 50_000), span("b", 1, 25_000, 50_000)];
+        let err = check_chrome_text(&chrome_trace_json(&spans)).expect_err("overlap");
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn unsorted_chrome_trace_is_rejected() {
+        let a = chrome_event_json(&span("late", 1, 50_000, 1_000));
+        let b = chrome_event_json(&span("early", 2, 0, 1_000));
+        let doc = format!("[{a},{b}]");
+        let err = check_chrome_text(&doc).expect_err("unsorted");
+        assert!(err.contains("not monotonic"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_end_order_is_enforced_per_tid() {
+        let lines = [
+            chrome_event_json(&span("second", 1, 0, 100_000)),
+            chrome_event_json(&span("first", 1, 10_000, 20_000)),
+        ]
+        .join("\n");
+        let err = check_jsonl_text(&lines).expect_err("ends out of order");
+        assert!(err.contains("not monotonic"), "{err}");
+    }
+
+    #[test]
+    fn malformed_events_are_rejected() {
+        assert!(check_chrome_text("not json").is_err());
+        assert!(check_chrome_text("{}").is_err());
+        assert!(check_chrome_text("[]").is_err());
+        // Missing ph.
+        let doc =
+            r#"[{"name":"x","cat":"kernel","ts":0,"dur":1,"pid":1,"tid":1,"args":{"trace_id":0}}]"#;
+        assert!(check_chrome_text(doc).unwrap_err().contains("`ph`"));
+        // Negative duration.
+        let doc = r#"[{"name":"x","cat":"kernel","ph":"X","ts":0,"dur":-1,"pid":1,"tid":1,"args":{"trace_id":0}}]"#;
+        assert!(check_chrome_text(doc).unwrap_err().contains("`dur`"));
+        // args missing trace_id.
+        let doc =
+            r#"[{"name":"x","cat":"kernel","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{}}]"#;
+        assert!(check_chrome_text(doc).unwrap_err().contains("trace_id"));
+    }
+}

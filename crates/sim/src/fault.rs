@@ -50,6 +50,19 @@ pub enum Fault {
     },
 }
 
+impl Fault {
+    /// Stable short name, used as the `fault` label on the
+    /// `ugrapher_fault_injections_total` metric.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::TruncateTrace { .. } => "truncate-trace",
+            Fault::PerturbDevice { .. } => "perturb-device",
+            Fault::ZeroCaches => "zero-caches",
+            Fault::AtomicStorm { .. } => "atomic-storm",
+        }
+    }
+}
+
 /// Applies a set of [`Fault`]s to device configs and kernel traces.
 #[derive(Debug, Clone, Default)]
 pub struct FaultInjector {
@@ -142,6 +155,14 @@ impl FaultInjector {
                 }
                 Fault::PerturbDevice { .. } | Fault::ZeroCaches => {}
             }
+        }
+        let reg = ugrapher_obs::MetricsRegistry::global();
+        for fault in &self.faults {
+            reg.inc_labeled(
+                ugrapher_obs::metrics::FAULT_INJECTIONS,
+                "fault",
+                fault.label(),
+            );
         }
         Ok(FaultySim {
             inner: KernelSim::new(&device, launch),

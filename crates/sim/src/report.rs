@@ -60,15 +60,28 @@ impl SimReport {
 
     /// Sequential composition: times add; rate metrics are time-weighted;
     /// counters add.
+    ///
+    /// Rates are averaged only over *non-empty* operands (`kernels > 0`):
+    /// an [`SimReport::empty`] side contributes nothing, so the identity
+    /// law holds even for rates the empty report stores as zero (e.g.
+    /// `theoretical_occupancy`). When both sides ran kernels but report
+    /// zero time (degenerate zero-work launches), the weighting falls back
+    /// to kernel counts instead of collapsing every rate to zero.
     pub fn merge(&self, other: &Self) -> Self {
         let t = self.time_ms + other.time_ms;
-        let w = |a: f64, b: f64| {
-            if t == 0.0 {
-                0.0
-            } else {
-                (a * self.time_ms + b * other.time_ms) / t
-            }
+        let (ws, wo) = if self.kernels == 0 && other.kernels == 0 {
+            (0.0, 0.0)
+        } else if self.kernels == 0 {
+            (0.0, 1.0)
+        } else if other.kernels == 0 {
+            (1.0, 0.0)
+        } else if t > 0.0 {
+            (self.time_ms / t, other.time_ms / t)
+        } else {
+            let k = (self.kernels + other.kernels) as f64;
+            (self.kernels as f64 / k, other.kernels as f64 / k)
         };
+        let w = |a: f64, b: f64| a * ws + b * wo;
         Self {
             time_ms: t,
             kernels: self.kernels + other.kernels,
@@ -155,6 +168,33 @@ mod tests {
         let a = sample(2.0, 0.7);
         assert_eq!(SimReport::empty().merge(&a), a);
         assert_eq!(a.merge(&SimReport::empty()), a);
+    }
+
+    #[test]
+    fn empty_is_identity_for_nonzero_rates() {
+        // Regression: the empty report stores every rate as 0.0, but it has
+        // run no kernels, so it must not drag rates toward zero — even
+        // rates that are non-zero in the other operand and even when the
+        // other operand reports zero time.
+        let mut a = sample(0.0, 0.8);
+        a.theoretical_occupancy = 0.9;
+        a.sm_efficiency = 0.75;
+        assert_eq!(SimReport::empty().merge(&a), a);
+        assert_eq!(a.merge(&SimReport::empty()), a);
+        let folded = SimReport::merge_all([&SimReport::empty(), &a, &SimReport::empty()]);
+        assert_eq!(folded, a);
+    }
+
+    #[test]
+    fn zero_time_reports_fall_back_to_kernel_count_weights() {
+        let mut a = sample(0.0, 0.4);
+        a.kernels = 1;
+        let mut b = sample(0.0, 0.7);
+        b.kernels = 2;
+        let m = a.merge(&b);
+        // (0.4 * 1 + 0.7 * 2) / 3
+        assert!((m.achieved_occupancy - 0.6).abs() < 1e-12);
+        assert_eq!(m.kernels, 3);
     }
 
     #[test]

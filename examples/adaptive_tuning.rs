@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use ugrapher::core::abstraction::OpInfo;
 use ugrapher::core::api::{GraphTensor, OpArgs, Runtime};
-use ugrapher::core::exec::{Fidelity, MeasureOptions};
+use ugrapher::core::exec::MeasureOptions;
 use ugrapher::core::tune::{grid_search, Predictor, PredictorConfig, TuneBudget};
 use ugrapher::graph::datasets::{by_abbrev, Scale};
 use ugrapher::sim::DeviceConfig;
@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Validate against grid search on held-out datasets.
-    let options = MeasureOptions {
-        device,
-        fidelity: Fidelity::Auto,
-    };
+    let options = MeasureOptions::auto(device);
     println!(
         "\n{:<6} {:>12} {:>12} {:>8}",
         "data", "grid(ms)", "pred(ms)", "gap"

@@ -18,7 +18,15 @@ echo "== tier-1: cargo build --release =="
 cargo build --release
 
 echo "== static analyzer: registry sweep (static vs dynamic race check) =="
-cargo run --release -p ugrapher-analyze --bin analyze-registry
+cargo run --release -p ugrapher-analyze --bin analyze-registry -- --progress=200
+
+echo "== observability: profile_gcn under tracing + trace-check =="
+trace_dir="$(mktemp -d)"
+UGRAPHER_TRACE="$trace_dir/trace.json" cargo run --release --example profile_gcn >/dev/null
+cargo run --release -p ugrapher-obs --bin trace-check -- "$trace_dir/trace.json"
+UGRAPHER_TRACE="$trace_dir/trace.jsonl" cargo run --release --example profile_gcn >/dev/null
+cargo run --release -p ugrapher-obs --bin trace-check -- "$trace_dir/trace.jsonl"
+rm -rf "$trace_dir"
 
 echo "== tier-1: cargo test -q =="
 cargo test -q

@@ -15,6 +15,7 @@
 //! | [`gnn`] | `ugrapher-gnn` | GCN/GIN/GAT/GraphSage inference pipelines |
 //! | [`baselines`] | `ugrapher-baselines` | DGL-, PyG- and GNNAdvisor-style backends |
 //! | [`analyze`] | `ugrapher-analyze` | static schedule/kernel analyzer with write-set race detection and sim cross-check |
+//! | [`obs`] | `ugrapher-obs` | tracing spans, trace sinks (ring/JSONL/Chrome), metrics registry, profile rollups |
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and substitution arguments, and `EXPERIMENTS.md` for the paper-vs-
@@ -47,6 +48,7 @@ pub use ugrapher_core as core;
 pub use ugrapher_gbdt as gbdt;
 pub use ugrapher_gnn as gnn;
 pub use ugrapher_graph as graph;
+pub use ugrapher_obs as obs;
 pub use ugrapher_sim as sim;
 pub use ugrapher_tensor as tensor;
 pub use ugrapher_util as util;

@@ -13,10 +13,7 @@ use ugrapher::sim::DeviceConfig;
 const SCALE: Scale = Scale::Ratio(0.03);
 
 fn options() -> MeasureOptions {
-    MeasureOptions {
-        device: DeviceConfig::v100(),
-        fidelity: Fidelity::Auto,
-    }
+    MeasureOptions::auto(DeviceConfig::v100())
 }
 
 /// Fig. 7 / §4.3: the optimal basic strategy differs across datasets and
@@ -163,10 +160,7 @@ fn devices_can_prefer_different_schedules() {
                 &graph,
                 &op,
                 16,
-                &MeasureOptions {
-                    device,
-                    fidelity: Fidelity::Auto,
-                },
+                &MeasureOptions::auto(device),
                 &ParallelInfo::space(),
             )
             .unwrap()
