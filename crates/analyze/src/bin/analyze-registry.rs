@@ -1,11 +1,19 @@
 //! CI driver: sweep the full operator registry × strategies × knob
-//! variants through the static analyzer and the dynamic sim cross-check.
-//! Exits non-zero on any finding (atomic mismatch, legality or schedule
-//! lint, codegen lint, or a static↔dynamic disagreement).
+//! variants through the static analyzer, the IR verifier passes, and the
+//! dynamic sim cross-check. Exits non-zero on any finding (atomic
+//! mismatch, bounds violation, legality or schedule lint, IR lint, or a
+//! static↔dynamic disagreement).
 //!
 //! `--progress[=N]` prints a one-line counter every `N` combinations
 //! (default 100), sourced from the process-wide metrics registry
 //! (`ugrapher_analyze_combos_total`).
+//!
+//! `--json` writes the machine-readable [`SweepReport`] (compact JSON,
+//! including bounds-proof and determinism tallies and the sweep's trace
+//! id) to stdout; human-readable summary and progress lines move to
+//! stderr so stdout stays parseable. The exit code contract is unchanged.
+//!
+//! [`SweepReport`]: ugrapher_analyze::SweepReport
 
 use std::process::ExitCode;
 
@@ -13,63 +21,92 @@ use ugrapher_analyze::{analyze_registry_with_progress, SweepConfig};
 use ugrapher_obs::{metrics, MetricsRegistry};
 use ugrapher_sim::DeviceConfig;
 
-fn parse_progress(args: &[String]) -> Result<Option<usize>, String> {
-    let mut every = None;
+struct Options {
+    progress_every: Option<usize>,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        progress_every: None,
+        json: false,
+    };
     for arg in args {
         if arg == "--progress" {
-            every = Some(100);
+            opts.progress_every = Some(100);
         } else if let Some(n) = arg.strip_prefix("--progress=") {
-            every = Some(
+            opts.progress_every = Some(
                 n.parse::<usize>()
                     .ok()
                     .filter(|&n| n > 0)
                     .ok_or_else(|| format!("--progress={n}: expected a positive integer"))?,
             );
+        } else if arg == "--json" {
+            opts.json = true;
         } else {
             return Err(format!("unknown argument {arg}"));
         }
     }
-    Ok(every)
+    Ok(opts)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let progress_every = match parse_progress(&args) {
-        Ok(p) => p,
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("analyze-registry: {e}");
-            eprintln!("usage: analyze-registry [--progress[=N]]");
+            eprintln!("usage: analyze-registry [--progress[=N]] [--json]");
             return ExitCode::from(2);
+        }
+    };
+    // With --json, stdout carries exactly one JSON document; everything
+    // human-readable goes to stderr.
+    let say = |line: String| {
+        if opts.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
         }
     };
     let cfg = SweepConfig::full();
     let device = DeviceConfig::v100();
-    println!(
+    say(format!(
         "analyze-registry: graph |V|={} |E|={} feat={} groupings={:?} tilings={:?}",
         cfg.num_vertices, cfg.num_edges, cfg.feat, cfg.groupings, cfg.tilings
-    );
+    ));
     let mut tick = |checked: usize| {
-        if let Some(every) = progress_every {
+        if let Some(every) = opts.progress_every {
             if checked.is_multiple_of(every) {
-                println!(
+                say(format!(
                     "progress: {checked} combos checked ({}={})",
                     metrics::ANALYZE_COMBOS,
                     MetricsRegistry::global().counter(metrics::ANALYZE_COMBOS)
-                );
+                ));
             }
         }
     };
     let report = analyze_registry_with_progress(
         &device,
         &cfg,
-        progress_every.is_some().then_some(&mut tick as &mut _),
+        opts.progress_every.is_some().then_some(&mut tick as &mut _),
     );
-    println!(
-        "checked {} combinations: {} static race witnesses, {} dynamically confirmed",
-        report.combos_checked, report.static_witnesses, report.dynamic_conflicts
-    );
+    say(format!(
+        "checked {} combinations: {} static race witnesses, {} dynamically confirmed, \
+         {} bounds proofs, determinism {}/{}/{} (seq/insensitive/dependent)",
+        report.combos_checked,
+        report.static_witnesses,
+        report.dynamic_conflicts,
+        report.bounds_proved,
+        report.determinism.sequential,
+        report.determinism.atomic_order_insensitive,
+        report.determinism.atomic_order_dependent,
+    ));
+    if opts.json {
+        println!("{}", report.to_json());
+    }
     if report.is_clean() {
-        println!("analyze-registry: clean (0 findings)");
+        say("analyze-registry: clean (0 findings)".to_owned());
         return ExitCode::SUCCESS;
     }
     eprintln!("analyze-registry: {} finding(s):", report.findings.len());

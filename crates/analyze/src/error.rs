@@ -4,15 +4,18 @@ use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_core::CoreError;
 
-use crate::codegen::CodegenFinding;
+use crate::bounds::BoundsViolation;
+use crate::irlint::IrFinding;
 
 /// A hard analysis failure: the triple is illegal, the plan disagrees with
-/// the independent race analysis, the emitted source contradicts it, or the
-/// dynamic write-set trace refutes the static verdict.
+/// the independent race analysis, the lowered IR contradicts it, an access
+/// cannot be proved in-bounds, or the dynamic write-set trace refutes the
+/// static verdict.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnalyzeError {
     /// The plan's recorded `needs_atomic` flag disagrees with the race
-    /// verdict the analyzer derived independently from the write-set model.
+    /// verdict derived independently from the write-set model — or the IR
+    /// write-set derivation disagrees with either.
     AtomicMismatch {
         /// The operator under analysis.
         op: OpInfo,
@@ -27,20 +30,31 @@ pub enum AnalyzeError {
     },
     /// The `(operator, schedule, graph-shape)` triple failed the legality
     /// gate (illegal operator, zero schedule knob, empty feature dim) or
-    /// plan generation / code emission rejected it.
+    /// plan generation / IR lowering rejected it.
     Illegal {
         /// The underlying core error.
         source: CoreError,
     },
-    /// The emitted CUDA source contradicts the analysis (residual NULL
+    /// The lowered kernel IR contradicts the analysis (residual NULL
     /// loads, missing operand reads, atomics that contradict the verdict).
     Codegen {
-        /// The operator whose kernel was linted.
+        /// The operator whose IR was linted.
         op: OpInfo,
-        /// The schedule whose template was linted.
+        /// The schedule whose IR was linted.
         schedule: ParallelInfo,
-        /// Every finding, in source order.
-        findings: Vec<CodegenFinding>,
+        /// Every finding, in statement order.
+        findings: Vec<IrFinding>,
+    },
+    /// The symbolic bounds checker could not prove every load/store of the
+    /// lowered kernel in-bounds for graphs passing `Graph::validate`.
+    OutOfBounds {
+        /// The operator whose kernel failed the proof.
+        op: OpInfo,
+        /// The schedule whose kernel failed the proof.
+        schedule: ParallelInfo,
+        /// The failed obligation with its concrete witness index
+        /// expression.
+        violation: BoundsViolation,
     },
     /// The simulated write-set trace disagrees with the static verdict:
     /// either conflicts appeared where the witness analysis proved none can,
@@ -82,7 +96,7 @@ impl std::fmt::Display for AnalyzeError {
             } => {
                 write!(
                     f,
-                    "codegen lint failed for {op:?} under {schedule}: {} finding(s):",
+                    "IR lint failed for {op:?} under {schedule}: {} finding(s):",
                     findings.len()
                 )?;
                 for finding in findings {
@@ -90,6 +104,14 @@ impl std::fmt::Display for AnalyzeError {
                 }
                 Ok(())
             }
+            AnalyzeError::OutOfBounds {
+                op,
+                schedule,
+                violation,
+            } => write!(
+                f,
+                "bounds proof failed for {op:?} under {schedule}: {violation}"
+            ),
             AnalyzeError::DynamicMismatch {
                 op,
                 schedule,

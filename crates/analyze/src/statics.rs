@@ -1,16 +1,21 @@
 //! The static analysis pass: race verdict with a concrete witness,
-//! legality gate, schedule lints and codegen lint for one
+//! legality gate, schedule lints, and the IR verifier passes (bounds
+//! proof, determinism classification, access patterns, IR lint) for one
 //! `(operator, schedule, graph-shape)` triple.
 
 use ugrapher_core::abstraction::OpInfo;
 use ugrapher_core::analysis::{self, RaceWitness, ScheduleLint};
-use ugrapher_core::codegen_cuda::emit_cuda;
+use ugrapher_core::codegen_cuda::emit_ir;
+use ugrapher_core::ir::{KernelIr, OperandPatterns};
+use ugrapher_core::lower::lower;
 use ugrapher_core::plan::KernelPlan;
 use ugrapher_core::schedule::ParallelInfo;
 use ugrapher_graph::Graph;
 
-use crate::codegen::{lint_cuda, CodegenFinding};
+use crate::bounds::{check_bounds, BoundsProof};
+use crate::determinism::{classify, DeterminismReport};
 use crate::error::AnalyzeError;
+use crate::irlint::{lint_ir, IrFinding};
 
 /// The analyzer's race verdict: the shape-generic atomic requirement plus,
 /// when the schedule can race, two concrete work items of the given graph
@@ -51,9 +56,19 @@ pub struct StaticReport {
     /// Warning-level schedule findings (clamped tiling, degenerate
     /// grouping); legal but wasteful.
     pub schedule_lints: Vec<ScheduleLint>,
-    /// Codegen lint findings on the emitted CUDA source.
-    pub codegen: Vec<CodegenFinding>,
-    /// The emitted CUDA translation unit that was linted.
+    /// The typed kernel IR the plan lowered to — the emitter renders
+    /// [`StaticReport::cuda`] from exactly this value.
+    pub ir: KernelIr,
+    /// The discharged symbolic bounds proof for every load/store.
+    pub bounds: BoundsProof,
+    /// The determinism classification of the lowered kernel.
+    pub determinism: DeterminismReport,
+    /// Per-operand memory-access-pattern classification.
+    pub access: OperandPatterns,
+    /// IR lint findings (residual NULL loads, unused operands, atomic
+    /// contradictions).
+    pub codegen: Vec<IrFinding>,
+    /// The CUDA translation unit rendered from [`StaticReport::ir`].
     pub cuda: String,
 }
 
@@ -69,7 +84,7 @@ impl StaticReport {
     ///
     /// # Errors
     ///
-    /// Returns [`AnalyzeError::Codegen`] if any codegen lint fired.
+    /// Returns [`AnalyzeError::Codegen`] if any IR lint fired.
     pub fn expect_clean_codegen(&self) -> Result<(), AnalyzeError> {
         if self.codegen.is_empty() {
             Ok(())
@@ -85,14 +100,16 @@ impl StaticReport {
 
 /// Statically analyzes an `(operator, schedule, graph-shape)` triple
 /// *before* execution: legality gate, plan generation, independent race
-/// verdict (checked against the plan's `needs_atomic`), schedule lints,
-/// and the codegen lint over the emitted CUDA.
+/// verdict (checked against the plan's `needs_atomic` *and* the IR
+/// write-set), schedule lints, and the IR verifier passes over the lowered
+/// kernel.
 ///
 /// # Errors
 ///
 /// Returns [`AnalyzeError::Illegal`] when the triple fails the legality
-/// gate and [`AnalyzeError::AtomicMismatch`] when plan generation and the
-/// write-set analysis disagree.
+/// gate, [`AnalyzeError::AtomicMismatch`] when plan generation and the
+/// write-set analysis disagree, and [`AnalyzeError::OutOfBounds`] when the
+/// symbolic bounds proof fails.
 pub fn analyze_static(
     graph: &Graph,
     op: OpInfo,
@@ -108,11 +125,17 @@ pub fn analyze_static(
 /// analysis — the entry point for plans that did not come out of
 /// [`KernelPlan::generate`] moments ago (deserialized, cached, or mutated).
 ///
+/// Three independent derivations of the race verdict must agree: the
+/// plan's recorded `needs_atomic`, the write-set analysis
+/// ([`ugrapher_core::analysis::race_verdict`]), and the store shape of the
+/// lowered IR ([`KernelIr::store_races`]).
+///
 /// # Errors
 ///
-/// Returns [`AnalyzeError::AtomicMismatch`] when the plan's recorded
-/// `needs_atomic` disagrees with the derived verdict, and
-/// [`AnalyzeError::Illegal`] when code emission rejects the plan.
+/// Returns [`AnalyzeError::AtomicMismatch`] when any two race derivations
+/// disagree, [`AnalyzeError::OutOfBounds`] when an access cannot be proved
+/// in-bounds, and [`AnalyzeError::Illegal`] when lowering rejects the
+/// plan.
 pub fn audit_plan(graph: &Graph, plan: &KernelPlan) -> Result<StaticReport, AnalyzeError> {
     let race = RaceVerdict::derive(graph, &plan.op, &plan.parallel);
     if plan.needs_atomic != race.needs_atomic {
@@ -131,12 +154,35 @@ pub fn audit_plan(graph: &Graph, plan: &KernelPlan) -> Result<StaticReport, Anal
         graph.num_vertices(),
         graph.num_edges(),
     );
-    let cuda = emit_cuda(plan)?;
-    let codegen = lint_cuda(&cuda, plan);
+    let ir = lower(plan)?;
+    // The IR write-set is the third, independent derivation of the race
+    // verdict; it must agree with the other two.
+    if ir.store_races() != race.needs_atomic {
+        return Err(AnalyzeError::AtomicMismatch {
+            op: plan.op,
+            schedule: plan.parallel,
+            plan_atomic: plan.needs_atomic,
+            derived_atomic: ir.store_races(),
+            reason: "IR write-set derivation disagrees with the shared race analysis".to_owned(),
+        });
+    }
+    let bounds = check_bounds(&ir).map_err(|violation| AnalyzeError::OutOfBounds {
+        op: plan.op,
+        schedule: plan.parallel,
+        violation,
+    })?;
+    let determinism = classify(&ir);
+    let access = ir.operand_patterns();
+    let codegen = lint_ir(&ir);
+    let cuda = emit_ir(&ir);
     Ok(StaticReport {
         plan: plan.clone(),
         race,
         schedule_lints,
+        ir,
+        bounds,
+        determinism,
+        access,
         codegen,
         cuda,
     })
@@ -145,6 +191,7 @@ pub fn audit_plan(graph: &Graph, plan: &KernelPlan) -> Result<StaticReport, Anal
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ugrapher_core::ir::DeterminismClass;
     use ugrapher_core::schedule::Strategy;
     use ugrapher_core::CoreError;
     use ugrapher_graph::generate::uniform_random;
@@ -164,6 +211,14 @@ mod tests {
         assert!(rep.race.witness.is_some(), "dense graph must witness");
         assert!(rep.plan.needs_atomic);
         rep.expect_clean_codegen().unwrap();
+        // The verifier passes populated the report.
+        assert!(rep.bounds.num_accesses() >= 2);
+        assert_eq!(
+            rep.determinism.class,
+            DeterminismClass::AtomicOrderDependent
+        );
+        assert!(rep.ir.store_races());
+        assert!(rep.cuda.contains("atomicAdd"));
     }
 
     #[test]
@@ -223,5 +278,28 @@ mod tests {
         assert!(!rep.is_clean());
         assert_eq!(rep.schedule_lints.len(), 2, "{:?}", rep.schedule_lints);
         assert!(rep.codegen.is_empty(), "codegen itself is consistent");
+    }
+
+    #[test]
+    fn report_carries_access_patterns() {
+        use ugrapher_core::ir::AccessPattern;
+        let g = uniform_random(100, 800, 9);
+        let rep = analyze_static(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::WarpEdge),
+            8,
+        )
+        .unwrap();
+        assert_eq!(rep.access.a, Some(AccessPattern::Coalesced));
+        assert_eq!(rep.access.c, AccessPattern::Coalesced);
+        let rep = analyze_static(
+            &g,
+            OpInfo::aggregation_sum(),
+            ParallelInfo::basic(Strategy::ThreadEdge),
+            8,
+        )
+        .unwrap();
+        assert_eq!(rep.access.a, Some(AccessPattern::Gather));
     }
 }

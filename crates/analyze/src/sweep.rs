@@ -1,19 +1,31 @@
-//! The registry sweep: run the full analysis — static pass plus dynamic
-//! cross-check — over every legal Table 4 operator under all four
-//! parallelization strategies and a set of grouping/tiling variants.
+//! The registry sweep: run the full analysis — static pass, IR verifier
+//! passes, plus dynamic cross-check — over every legal Table 4 operator
+//! under all four parallelization strategies and a set of grouping/tiling
+//! variants.
 //!
 //! This is the CI driver behind `analyze-registry`: a clean sweep proves
-//! that the static race verdicts agree with sim-trace write-sets on the
-//! whole operator space, and that no schedule or codegen lint fires on any
+//! that the static race verdicts agree with the IR write-sets *and* the
+//! sim-trace write-log oracle on the whole operator space, that every
+//! load/store carries a discharged bounds proof, that every combination
+//! has a determinism label, and that no schedule or IR lint fires on any
 //! combination the tuner would legitimately propose.
+//!
+//! Each sweep runs under an `analyze.sweep` span stamped with a fresh
+//! trace id (also recorded on the [`SweepReport`]), and per-combo verifier
+//! outcomes are counted in the process-wide metrics registry
+//! (`ugrapher_analyze_verifier_total{pass=...}`,
+//! `ugrapher_analyze_determinism_total{class=...}`).
 
 use ugrapher_core::abstraction::{registry, OpInfo};
+use ugrapher_core::ir::DeterminismClass;
 use ugrapher_core::schedule::{ParallelInfo, Strategy};
 use ugrapher_graph::generate::uniform_random;
 use ugrapher_graph::Graph;
 use ugrapher_sim::DeviceConfig;
+use ugrapher_util::json::Value;
 
 use crate::dynamic::cross_check_plan;
+use crate::error::AnalyzeError;
 use crate::statics::analyze_static;
 
 /// Shape of the sweep: the synthetic graph the analyses run on and the
@@ -89,6 +101,33 @@ impl std::fmt::Display for SweepFinding {
     }
 }
 
+/// Per-class tallies of the determinism labels the sweep assigned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeterminismCounts {
+    /// Bitwise-deterministic sequential kernels.
+    pub sequential: usize,
+    /// Contended but order-insensitive (atomic CAS max/min) kernels.
+    pub atomic_order_insensitive: usize,
+    /// Reduction-order-dependent (atomic float sum/mean) kernels.
+    pub atomic_order_dependent: usize,
+}
+
+impl DeterminismCounts {
+    fn record(&mut self, class: DeterminismClass) {
+        match class {
+            DeterminismClass::Sequential => self.sequential += 1,
+            DeterminismClass::AtomicOrderInsensitive => self.atomic_order_insensitive += 1,
+            DeterminismClass::AtomicOrderDependent => self.atomic_order_dependent += 1,
+        }
+    }
+
+    /// Total labels assigned (must equal the combos that passed the static
+    /// pass).
+    pub fn total(&self) -> usize {
+        self.sequential + self.atomic_order_insensitive + self.atomic_order_dependent
+    }
+}
+
 /// The outcome of one registry sweep.
 #[derive(Debug, Clone, Default)]
 pub struct SweepReport {
@@ -98,9 +137,17 @@ pub struct SweepReport {
     pub static_witnesses: usize,
     /// Combinations whose simulated trace observed contended words.
     pub dynamic_conflicts: usize,
-    /// Every failure: atomic mismatches, legality findings, codegen lints,
-    /// dynamic mismatches.
+    /// Combinations whose every load/store carries a discharged symbolic
+    /// bounds proof.
+    pub bounds_proved: usize,
+    /// Determinism labels assigned, tallied per class.
+    pub determinism: DeterminismCounts,
+    /// Every failure: atomic mismatches, bounds violations, legality
+    /// findings, IR lints, dynamic mismatches.
     pub findings: Vec<SweepFinding>,
+    /// Trace id of the `analyze.sweep` span this report was produced
+    /// under (joins the sweep to end-to-end traces).
+    pub trace_id: u64,
 }
 
 impl SweepReport {
@@ -108,11 +155,54 @@ impl SweepReport {
     pub fn is_clean(&self) -> bool {
         self.findings.is_empty()
     }
+
+    /// Machine-readable JSON rendering (compact, deterministic key order)
+    /// for `analyze-registry --json` and downstream CI tooling.
+    pub fn to_json(&self) -> String {
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Value::obj(vec![
+                    ("op", Value::Str(format!("{:?}", f.op))),
+                    ("schedule", Value::Str(f.schedule.to_string())),
+                    ("detail", Value::Str(f.detail.clone())),
+                ])
+            })
+            .collect();
+        Value::obj(vec![
+            ("combos_checked", Value::Num(self.combos_checked as f64)),
+            ("static_witnesses", Value::Num(self.static_witnesses as f64)),
+            (
+                "dynamic_conflicts",
+                Value::Num(self.dynamic_conflicts as f64),
+            ),
+            ("bounds_proved", Value::Num(self.bounds_proved as f64)),
+            (
+                "determinism",
+                Value::obj(vec![
+                    ("sequential", Value::Num(self.determinism.sequential as f64)),
+                    (
+                        "atomic_order_insensitive",
+                        Value::Num(self.determinism.atomic_order_insensitive as f64),
+                    ),
+                    (
+                        "atomic_order_dependent",
+                        Value::Num(self.determinism.atomic_order_dependent as f64),
+                    ),
+                ]),
+            ),
+            ("clean", Value::Bool(self.is_clean())),
+            ("findings", Value::Arr(findings)),
+            ("trace_id", Value::Num(self.trace_id as f64)),
+        ])
+        .to_string_compact()
+    }
 }
 
 /// Sweeps the full operator registry × [`Strategy::ALL`] × knob variants,
-/// running the static pass and the dynamic cross-check on each combination
-/// and collecting every finding.
+/// running the static pass, the IR verifier passes and the dynamic
+/// cross-check on each combination and collecting every finding.
 pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport {
     analyze_registry_with_progress(device, cfg, None)
 }
@@ -127,17 +217,28 @@ pub fn analyze_registry_with_progress(
     cfg: &SweepConfig,
     mut progress: Option<&mut dyn FnMut(usize)>,
 ) -> SweepReport {
-    let mut span = ugrapher_obs::global().span("analyze.sweep", ugrapher_obs::SpanKind::Analyze);
+    let trace_id = ugrapher_obs::next_trace_id();
+    let mut span = ugrapher_obs::global().span_traced(
+        "analyze.sweep",
+        ugrapher_obs::SpanKind::Analyze,
+        trace_id,
+    );
+    let metrics = ugrapher_obs::MetricsRegistry::global();
+    let verifier = |pass: &str| {
+        metrics.inc_labeled(ugrapher_obs::metrics::ANALYZE_VERIFIER, "pass", pass);
+    };
     let graph = cfg.graph();
-    let mut report = SweepReport::default();
+    let mut report = SweepReport {
+        trace_id,
+        ..SweepReport::default()
+    };
     for op in registry::all_valid_ops() {
         for strategy in Strategy::ALL {
             for &grouping in &cfg.groupings {
                 for &tiling in &cfg.tilings {
                     let parallel = ParallelInfo::new(strategy, grouping, tiling);
                     report.combos_checked += 1;
-                    ugrapher_obs::MetricsRegistry::global()
-                        .inc(ugrapher_obs::metrics::ANALYZE_COMBOS);
+                    metrics.inc(ugrapher_obs::metrics::ANALYZE_COMBOS);
                     if let Some(hook) = progress.as_deref_mut() {
                         hook(report.combos_checked);
                     }
@@ -149,28 +250,52 @@ pub fn analyze_registry_with_progress(
                     let stat = match analyze_static(&graph, op, parallel, cfg.feat) {
                         Ok(stat) => stat,
                         Err(e) => {
+                            match &e {
+                                AnalyzeError::OutOfBounds { .. } => verifier("bounds-violation"),
+                                AnalyzeError::AtomicMismatch { .. } => verifier("race-mismatch"),
+                                _ => {}
+                            }
                             report.findings.push(fail(e.to_string()));
                             continue;
                         }
                     };
+                    // Static pass succeeded: the bounds proof discharged
+                    // and all three race derivations (plan flag, shared
+                    // analysis, IR write-set) agree.
+                    verifier("bounds-ok");
+                    verifier("race-ok");
+                    report.bounds_proved += 1;
+                    report.determinism.record(stat.determinism.class);
+                    metrics.inc_labeled(
+                        ugrapher_obs::metrics::ANALYZE_DETERMINISM,
+                        "class",
+                        stat.determinism.class.label(),
+                    );
                     for lint in &stat.schedule_lints {
                         report.findings.push(fail(format!("schedule lint: {lint}")));
                     }
+                    verifier(if stat.codegen.is_empty() {
+                        "lint-ok"
+                    } else {
+                        "lint-finding"
+                    });
                     for finding in &stat.codegen {
-                        report
-                            .findings
-                            .push(fail(format!("codegen lint: {finding}")));
+                        report.findings.push(fail(format!("IR lint: {finding}")));
                     }
                     if stat.race.witness.is_some() {
                         report.static_witnesses += 1;
                     }
                     match cross_check_plan(&graph, &stat.plan, device) {
                         Ok(cc) => {
+                            verifier("dynamic-ok");
                             if cc.observed_conflicts() {
                                 report.dynamic_conflicts += 1;
                             }
                         }
-                        Err(e) => report.findings.push(fail(e.to_string())),
+                        Err(e) => {
+                            verifier("dynamic-mismatch");
+                            report.findings.push(fail(e.to_string()));
+                        }
                     }
                 }
             }
@@ -178,7 +303,9 @@ pub fn analyze_registry_with_progress(
     }
     if span.is_enabled() {
         span.attr("combos", report.combos_checked)
-            .attr("findings", report.findings.len());
+            .attr("findings", report.findings.len())
+            .attr("bounds_proved", report.bounds_proved)
+            .attr("determinism_labels", report.determinism.total());
     }
     report
 }
@@ -198,5 +325,61 @@ mod tests {
                 assert!(g < cfg.num_vertices && g < cfg.num_edges);
             }
         }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let mut report = SweepReport {
+            combos_checked: 3,
+            static_witnesses: 1,
+            dynamic_conflicts: 1,
+            bounds_proved: 3,
+            trace_id: 42,
+            ..SweepReport::default()
+        };
+        report.determinism.record(DeterminismClass::Sequential);
+        report
+            .determinism
+            .record(DeterminismClass::AtomicOrderDependent);
+        let v = ugrapher_util::json::parse(&report.to_json()).unwrap();
+        assert_eq!(v.field("combos_checked").unwrap().as_f64().unwrap(), 3.0);
+        assert_eq!(v.field("bounds_proved").unwrap().as_f64().unwrap(), 3.0);
+        assert!(v.field("clean").unwrap().as_bool().unwrap());
+        assert_eq!(v.field("trace_id").unwrap().as_f64().unwrap(), 42.0);
+        let d = v.field("determinism").unwrap();
+        assert_eq!(d.field("sequential").unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(
+            d.field("atomic_order_dependent").unwrap().as_f64().unwrap(),
+            1.0
+        );
+        assert_eq!(v.field("findings").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn findings_serialize_with_context() {
+        let report = SweepReport {
+            combos_checked: 1,
+            findings: vec![SweepFinding {
+                op: ugrapher_core::abstraction::OpInfo::aggregation_sum(),
+                schedule: ParallelInfo::basic(Strategy::ThreadEdge),
+                detail: "synthetic \"finding\"".to_owned(),
+            }],
+            ..SweepReport::default()
+        };
+        let v = ugrapher_util::json::parse(&report.to_json()).unwrap();
+        assert!(!v.field("clean").unwrap().as_bool().unwrap());
+        let f = &v.field("findings").unwrap().as_arr().unwrap()[0];
+        assert!(f
+            .field("detail")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("finding"));
+        assert!(f
+            .field("schedule")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("TE"));
     }
 }

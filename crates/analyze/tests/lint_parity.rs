@@ -1,0 +1,204 @@
+//! Regression test for the retirement of the text-based CUDA lint
+//! (`crates/analyze/src/codegen.rs`, deleted in favor of
+//! [`ugrapher_analyze::lint_ir`]).
+//!
+//! The legacy lint audited the emitted CUDA *string*; the IR lint audits
+//! the typed [`KernelIr`] the emitter renders from. This test inlines the
+//! legacy string heuristics verbatim as an oracle and proves the two
+//! produce identical verdicts — over every freshly lowered registry
+//! combination *and* over corrupted kernels exhibiting each defect class
+//! the text lint was built to catch. Keep this test: it is the evidence
+//! that deleting the text lint lost no detection power.
+
+#![allow(clippy::unwrap_used)]
+
+use ugrapher_core::abstraction::{registry, OpInfo, TensorType};
+use ugrapher_core::analysis::race_verdict;
+use ugrapher_core::codegen_cuda::emit_ir;
+use ugrapher_core::ir::{KernelIr, Stmt, UpdateKind, Value};
+use ugrapher_core::lower::lower;
+use ugrapher_core::plan::KernelPlan;
+use ugrapher_core::schedule::{ParallelInfo, Strategy};
+
+use ugrapher_analyze::{lint_ir, IrFinding};
+
+/// The canonical verdict both linters are mapped into for comparison.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Verdict {
+    ResidualNullLoad {
+        occurrences: usize,
+    },
+    UnusedOperandBuffer {
+        operand: &'static str,
+    },
+    AtomicContradiction {
+        verdict_atomic: bool,
+        body_atomic: bool,
+    },
+    NothingToAudit,
+}
+
+/// The legacy text lint, inlined verbatim from the deleted
+/// `codegen::lint_cuda` (modulo the finding enum, which is mapped straight
+/// into [`Verdict`]).
+fn legacy_text_lint(source: &str, op: &OpInfo, parallel: &ParallelInfo) -> Vec<Verdict> {
+    let mut findings = Vec::new();
+    let Some(body) = source.split("__global__").nth(1) else {
+        return vec![Verdict::NothingToAudit];
+    };
+
+    let occurrences = body.matches("0.0f").count();
+    if occurrences > 0 {
+        findings.push(Verdict::ResidualNullLoad { occurrences });
+    }
+
+    for (operand, ttype) in [("A", op.a), ("B", op.b)] {
+        if ttype != TensorType::Null && !body.contains(&format!("{operand}[")) {
+            findings.push(Verdict::UnusedOperandBuffer { operand });
+        }
+    }
+
+    let body_atomic = body.contains("atomicAdd(") || body.contains("atomicCAS(");
+    let verdict_atomic = race_verdict(op, parallel).needs_atomic;
+    if body_atomic != verdict_atomic {
+        findings.push(Verdict::AtomicContradiction {
+            verdict_atomic,
+            body_atomic,
+        });
+    }
+
+    findings
+}
+
+fn canonical_ir(findings: Vec<IrFinding>) -> Vec<Verdict> {
+    findings
+        .into_iter()
+        .map(|f| match f {
+            IrFinding::ResidualNullLoad { occurrences } => {
+                Verdict::ResidualNullLoad { occurrences }
+            }
+            IrFinding::UnusedOperandBuffer { operand } => Verdict::UnusedOperandBuffer { operand },
+            IrFinding::AtomicContradiction {
+                verdict_atomic,
+                body_atomic,
+            } => Verdict::AtomicContradiction {
+                verdict_atomic,
+                body_atomic,
+            },
+            IrFinding::MissingStore => Verdict::NothingToAudit,
+        })
+        .collect()
+}
+
+fn sorted(mut v: Vec<Verdict>) -> Vec<Verdict> {
+    v.sort();
+    v
+}
+
+/// Renders `ir` and asserts the text oracle and the IR lint agree on it.
+fn assert_parity(ir: &KernelIr, context: &str) {
+    let source = emit_ir(ir);
+    let text = sorted(legacy_text_lint(&source, &ir.op, &ir.parallel));
+    let typed = sorted(canonical_ir(lint_ir(ir)));
+    assert_eq!(text, typed, "lint parity broke for {context}");
+}
+
+#[test]
+fn whole_registry_verdicts_identical_and_clean() {
+    for op in registry::all_valid_ops() {
+        for strategy in Strategy::ALL {
+            for (grouping, tiling) in [(1, 1), (4, 2), (64, 8)] {
+                let parallel = ParallelInfo::new(strategy, grouping, tiling);
+                let plan = KernelPlan::generate(op, parallel, 300, 2400, 8).unwrap();
+                let ir = lower(&plan).unwrap();
+                assert_parity(&ir, &format!("{op:?} under {parallel}"));
+                assert_eq!(
+                    lint_ir(&ir),
+                    vec![],
+                    "fresh lowering must be clean: {op:?} under {parallel}"
+                );
+            }
+        }
+    }
+}
+
+fn lowered(op: OpInfo, strategy: Strategy) -> KernelIr {
+    let plan = KernelPlan::generate(op, ParallelInfo::basic(strategy), 300, 2400, 8).unwrap();
+    lower(&plan).unwrap()
+}
+
+#[test]
+fn stripped_atomics_agree() {
+    let mut ir = lowered(OpInfo::aggregation_sum(), Strategy::ThreadEdge);
+    if let Stmt::Store(s) = ir.body.last_mut().unwrap() {
+        s.update = UpdateKind::Accumulate;
+    }
+    assert_parity(&ir, "stripped atomics");
+    assert!(
+        canonical_ir(lint_ir(&ir)).contains(&Verdict::AtomicContradiction {
+            verdict_atomic: true,
+            body_atomic: false,
+        })
+    );
+}
+
+#[test]
+fn spurious_atomics_agree() {
+    let mut ir = lowered(OpInfo::aggregation_sum(), Strategy::ThreadVertex);
+    if let Stmt::Store(s) = ir.body.last_mut().unwrap() {
+        s.update = UpdateKind::AtomicAdd;
+    }
+    assert_parity(&ir, "spurious atomics");
+    assert!(
+        canonical_ir(lint_ir(&ir)).contains(&Verdict::AtomicContradiction {
+            verdict_atomic: false,
+            body_atomic: true,
+        })
+    );
+}
+
+#[test]
+fn spurious_cas_atomics_agree() {
+    // The text oracle's second atomic marker (`atomicCAS(`) must map to
+    // the same verdict as the IR's CAS update kinds.
+    let mut ir = lowered(OpInfo::aggregation_max(), Strategy::ThreadVertex);
+    if let Stmt::Store(s) = ir.body.last_mut().unwrap() {
+        s.update = UpdateKind::AtomicCasMax;
+    }
+    assert_parity(&ir, "spurious CAS atomics");
+    assert!(
+        canonical_ir(lint_ir(&ir)).contains(&Verdict::AtomicContradiction {
+            verdict_atomic: false,
+            body_atomic: true,
+        })
+    );
+}
+
+#[test]
+fn degraded_operand_load_agrees() {
+    // The lowering bug the text lint was built for: an operand load
+    // degraded to the NULL placeholder, leaving a residual 0.0f and an
+    // unread A buffer.
+    let mut ir = lowered(OpInfo::aggregation_sum(), Strategy::ThreadEdge);
+    if let Stmt::Store(s) = ir.body.last_mut().unwrap() {
+        s.value = Value::Zero;
+    }
+    assert_parity(&ir, "degraded operand load");
+    let verdicts = canonical_ir(lint_ir(&ir));
+    assert!(verdicts.contains(&Verdict::ResidualNullLoad { occurrences: 1 }));
+    assert!(verdicts.contains(&Verdict::UnusedOperandBuffer { operand: "A" }));
+}
+
+#[test]
+fn nothing_to_audit_agrees() {
+    // A store-less IR cannot be rendered, so the parity pair here is the
+    // legacy MissingKernel (no `__global__` in the source) against the IR
+    // MissingStore — both canonicalize to "nothing to audit".
+    let ir = lowered(OpInfo::aggregation_sum(), Strategy::ThreadVertex);
+    let text = legacy_text_lint("// nothing here\n", &ir.op, &ir.parallel);
+    assert_eq!(text, vec![Verdict::NothingToAudit]);
+    let mut gutted = ir;
+    gutted.body.retain(|s| !matches!(s, Stmt::Store(_)));
+    let typed = canonical_ir(lint_ir(&gutted));
+    assert!(typed.contains(&Verdict::NothingToAudit));
+}

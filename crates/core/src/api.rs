@@ -437,6 +437,9 @@ impl Runtime {
             feat,
         )?
         .with_scalar_operands(scalars.0, scalars.1);
+        robustness.determinism = Some(crate::ir::classify_determinism(&crate::lower::lower(
+            &plan,
+        )?));
         let output = functional::execute_traced(
             graph.graph(),
             &args.op,
@@ -572,10 +575,34 @@ mod tests {
         assert_eq!(res.schedule, ParallelInfo::basic(Strategy::ThreadEdge));
         assert!(res.report.time_ms > 0.0);
         assert!(!res.robustness.degraded());
+        // Edge-parallel float sum: stamped as reduction-order-dependent.
+        assert_eq!(
+            res.robustness.determinism,
+            Some(crate::ir::DeterminismClass::AtomicOrderDependent)
+        );
+        assert!(!res.robustness.bitwise_deterministic());
         // Every vertex's output is its in-degree (features are all 1).
         for v in 0..100 {
             assert_eq!(res.output[(v, 0)], g.in_degree(v) as f32);
         }
+    }
+
+    #[test]
+    fn vertex_parallel_runs_are_stamped_bitwise_deterministic() {
+        let g = uniform_random(100, 500, 1);
+        let x = Tensor2::full(100, 8, 1.0);
+        let res = Runtime::new(DeviceConfig::v100())
+            .run(
+                &GraphTensor::new(&g),
+                &OpArgs::fused(OpInfo::aggregation_sum(), &x),
+                Some(ParallelInfo::basic(Strategy::ThreadVertex)),
+            )
+            .unwrap();
+        assert_eq!(
+            res.robustness.determinism,
+            Some(crate::ir::DeterminismClass::Sequential)
+        );
+        assert!(res.robustness.bitwise_deterministic());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   tiling, combined in [`schedule::ParallelInfo`].
 //! * [`plan`] — the two "code generation" passes of paper §5.2 (NULL-op
 //!   fusion and atomic-requirement analysis) producing a [`plan::KernelPlan`].
+//! * [`ir`] / [`lower`] — the typed kernel IR every plan lowers to:
+//!   loads/stores with index provenance, explicit update forms and loop
+//!   nests. The CUDA emitter renders from it and the `ugrapher-analyze`
+//!   verifier passes (bounds, determinism, access patterns) analyze it, so
+//!   emitter and analyzer share one source of truth.
 //! * [`analysis`] — the shared static analysis behind pass 2: the
 //!   write-set race verdict, concrete-graph race witnesses, and the single
 //!   legality gate used by planning and tuning (extended by the
@@ -57,6 +62,8 @@ pub mod codegen_cuda;
 mod costs;
 mod error;
 pub mod exec;
+pub mod ir;
+pub mod lower;
 pub mod plan;
 pub mod robustness;
 pub mod schedule;

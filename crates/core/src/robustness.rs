@@ -8,6 +8,16 @@
 //! callers that care (benchmark harnesses, CI) can assert on
 //! [`RobustnessReport::degraded`] while interactive users just read the
 //! log.
+//!
+//! The report also carries the [`DeterminismClass`] of the executed
+//! kernel, derived from its lowered IR: whether repeated runs are
+//! bitwise-identical (sequential reductions, copies, CAS max/min) or
+//! reduction-order-dependent (atomic float sum/mean). Callers that need
+//! bitwise reproducibility can assert on
+//! [`RobustnessReport::bitwise_deterministic`] and re-run with a
+//! vertex-parallel schedule when it fails.
+
+use crate::ir::DeterminismClass;
 
 /// One recorded fallback event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +45,10 @@ pub struct RobustnessReport {
     /// Trace id of the request this report belongs to (`0` until the
     /// runtime stamps it; joins the report to emitted spans).
     pub trace_id: u64,
+    /// Determinism classification of the executed kernel, derived from
+    /// its lowered IR (`None` until the runtime stamps it — e.g. on
+    /// requests that fail before a plan exists).
+    pub determinism: Option<DeterminismClass>,
 }
 
 impl RobustnessReport {
@@ -46,6 +60,15 @@ impl RobustnessReport {
     /// Whether any fallback was taken.
     pub fn degraded(&self) -> bool {
         !self.downgrades.is_empty()
+    }
+
+    /// Whether repeated executions of the served request produce
+    /// bitwise-identical output. `false` when the kernel's reduction is
+    /// order-dependent *or* when no classification was stamped (absence
+    /// of proof is not proof).
+    pub fn bitwise_deterministic(&self) -> bool {
+        self.determinism
+            .is_some_and(|class| class.bitwise_deterministic())
     }
 
     /// Records one fallback event. Also bumps the process-wide fallback
@@ -83,5 +106,18 @@ mod tests {
         assert_eq!(r.downgrades.len(), 2);
         assert_eq!(r.downgrades[0].stage, "predictor");
         assert!(r.downgrades[1].to_string().contains("default schedule"));
+    }
+
+    #[test]
+    fn determinism_defaults_to_unstamped_and_unproven() {
+        let mut r = RobustnessReport::new();
+        assert_eq!(r.determinism, None);
+        assert!(!r.bitwise_deterministic(), "unstamped is not a guarantee");
+        r.determinism = Some(DeterminismClass::Sequential);
+        assert!(r.bitwise_deterministic());
+        r.determinism = Some(DeterminismClass::AtomicOrderInsensitive);
+        assert!(r.bitwise_deterministic(), "CAS max/min commutes bitwise");
+        r.determinism = Some(DeterminismClass::AtomicOrderDependent);
+        assert!(!r.bitwise_deterministic());
     }
 }

@@ -110,7 +110,8 @@ impl ParallelInfo {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidSchedule`] naming the offending knob.
+    /// Returns [`CoreError::InvalidSchedule`](crate::CoreError::InvalidSchedule)
+    /// naming the offending knob.
     pub fn validate(&self) -> Result<(), crate::CoreError> {
         if self.grouping == 0 {
             return Err(crate::CoreError::InvalidSchedule {

@@ -7,13 +7,24 @@
 //! is available to the runtime for free — and the candidate schedule's own
 //! parameters, since the model scores (context, schedule) pairs.
 
+//!
+//! On top of the paper's features, the vector carries the IR-derived
+//! memory-access-pattern classification of each operand under the
+//! candidate strategy ([`crate::ir::operand_patterns_for`]): whether the
+//! `A`/`B` loads and the `C` store are coalesced, strided, broadcast, or
+//! gathered. These are static features — they fall out of the operand
+//! tensor types and the strategy's work-item shape alone — and they encode
+//! exactly the locality difference that makes e.g. warp-per-item schedules
+//! win on wide feature dimensions.
+
 use ugrapher_graph::DegreeStats;
 
 use crate::abstraction::{EdgeOp, GatherOp, OpInfo, TensorType};
+use crate::ir::operand_patterns_for;
 use crate::schedule::{ParallelInfo, Strategy};
 
 /// Number of entries in a [`feature_vector`].
-pub const NUM_FEATURES: usize = 16;
+pub const NUM_FEATURES: usize = 19;
 
 fn edge_op_id(op: EdgeOp) -> f64 {
     EdgeOp::ALL
@@ -64,6 +75,14 @@ pub fn feature_vector_masked(
             0.0
         }
     };
+    // Memory-access-pattern ids (0 = operand absent; see
+    // `AccessPattern::feature_id`). Derived from operator info, so the
+    // Table 7 graph-only ablation zeroes them with the rest.
+    let access = if include_op {
+        operand_patterns_for(op, schedule.strategy).feature_ids()
+    } else {
+        [0.0; 3]
+    };
     let v = vec![
         // Graph info (Table 7).
         (stats.num_vertices as f64 + 1.0).ln(),
@@ -105,6 +124,10 @@ pub fn feature_vector_masked(
         strategy_onehot(Strategy::WarpEdge),
         (schedule.grouping as f64).log2(),
         (schedule.tiling as f64).log2(),
+        // IR-derived access-pattern classification (see module docs).
+        access[0],
+        access[1],
+        access[2],
     ];
     debug_assert_eq!(v.len(), NUM_FEATURES);
     v
@@ -158,12 +181,39 @@ mod tests {
         let without = feature_vector_masked(&s, &OpInfo::weighted_aggregation_sum(), 32, &p, false);
         assert_ne!(with, without);
         assert_eq!(&without[4..9], &[0.0; 5]);
+        // Access-pattern ids derive from operator info, so the ablation
+        // zeroes them too.
+        assert_eq!(&without[16..], &[0.0; 3]);
         // Graph and schedule features unchanged.
         assert_eq!(&with[..4], &without[..4]);
-        assert_eq!(&with[9..], &without[9..]);
+        assert_eq!(&with[9..16], &without[9..16]);
         // Masked vectors can no longer distinguish operators.
         let other = feature_vector_masked(&s, &OpInfo::aggregation_max(), 32, &p, false);
         assert_eq!(without, other);
+    }
+
+    #[test]
+    fn access_pattern_features_track_the_lowered_ir() {
+        use crate::ir::AccessPattern;
+        use crate::lower::lower;
+        use crate::plan::KernelPlan;
+        let s = stats();
+        let op = OpInfo::aggregation_sum();
+        for strategy in Strategy::ALL {
+            let schedule = ParallelInfo::basic(strategy);
+            let v = feature_vector(&s, &op, 32, &schedule);
+            let plan = KernelPlan::generate(op, schedule, 100, 500, 32).unwrap();
+            let ids = lower(&plan).unwrap().operand_patterns().feature_ids();
+            assert_eq!(&v[16..], &ids, "{strategy:?}");
+        }
+        // The ids encode a real strategy distinction: a gathered A operand
+        // under thread-per-edge vs a coalesced one under warp-per-edge.
+        let te = feature_vector(&s, &op, 32, &ParallelInfo::basic(Strategy::ThreadEdge));
+        let we = feature_vector(&s, &op, 32, &ParallelInfo::basic(Strategy::WarpEdge));
+        assert_eq!(te[16], AccessPattern::Gather.feature_id());
+        assert_eq!(we[16], AccessPattern::Coalesced.feature_id());
+        // B is Null for plain aggregation: id 0 is reserved for "absent".
+        assert_eq!(te[17], 0.0);
     }
 
     #[test]

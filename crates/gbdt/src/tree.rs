@@ -177,7 +177,7 @@ impl ToJson for Tree {
 impl FromJson for Tree {
     /// Decodes and *structurally validates* a tree: child indices must be
     /// in bounds and strictly greater than the parent's index (the arena
-    /// invariant [`Tree::fit`] maintains), so a corrupted model file cannot
+    /// invariant `Tree::fit` maintains), so a corrupted model file cannot
     /// cause an out-of-bounds panic or an infinite prediction loop.
     fn from_json(v: &Value) -> Result<Self, JsonError> {
         let items = v

@@ -2,7 +2,8 @@
 //!
 //! Every span serializes to one *complete* event (`"ph": "X"`) in the
 //! [Trace Event Format] consumed by `about://tracing` and Perfetto.
-//! Timestamps and durations are microseconds; the span's [`SpanKind`]
+//! Timestamps and durations are microseconds; the span's
+//! [`SpanKind`](crate::span::SpanKind)
 //! becomes the event category and its attributes (plus `trace_id`) the
 //! `args` object.
 //!

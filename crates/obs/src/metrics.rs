@@ -28,6 +28,14 @@ pub const FALLBACKS: &str = "ugrapher_fallbacks_total";
 pub const FAULT_INJECTIONS: &str = "ugrapher_fault_injections_total";
 /// Counter: operator × schedule combinations checked by the analyzer sweep.
 pub const ANALYZE_COMBOS: &str = "ugrapher_analyze_combos_total";
+/// Counter (labeled `pass`): IR verifier-pass outcomes per sweep combo
+/// (`bounds-ok`/`bounds-violation`, `race-ok`/`race-mismatch`,
+/// `lint-ok`/`lint-finding`, `dynamic-ok`/`dynamic-mismatch`).
+pub const ANALYZE_VERIFIER: &str = "ugrapher_analyze_verifier_total";
+/// Counter (labeled `class`): determinism classifications assigned by the
+/// analyzer sweep (`sequential`, `atomic-order-insensitive`,
+/// `atomic-order-dependent`).
+pub const ANALYZE_DETERMINISM: &str = "ugrapher_analyze_determinism_total";
 /// Histogram (labeled `strategy`): simulated kernel time per strategy.
 pub const KERNEL_TIME_MS: &str = "ugrapher_kernel_time_ms";
 /// Histogram: end-to-end `Runtime::run` simulated time.

@@ -14,11 +14,29 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy (ugrapher-analyze, -D warnings) =="
 cargo clippy -p ugrapher-analyze -- -D warnings
 
+echo "== cargo doc (workspace, no deps, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== tier-1: cargo build --release =="
 cargo build --release
 
-echo "== static analyzer: registry sweep (static vs dynamic race check) =="
-cargo run --release -p ugrapher-analyze --bin analyze-registry -- --progress=200
+echo "== static analyzer: registry sweep (IR verifier + dynamic race check) =="
+sweep_json="$(mktemp)"
+cargo run --release -p ugrapher-analyze --bin analyze-registry -- --progress=200 --json > "$sweep_json"
+# The JSON report must confirm a clean sweep with full verifier coverage:
+# every combo bounds-proved and every combo carrying a determinism label.
+python3 - "$sweep_json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+combos = r["combos_checked"]
+labels = sum(r["determinism"].values())
+assert r["clean"], f'sweep not clean: {r["findings"]}'
+assert r["bounds_proved"] == combos, f'{r["bounds_proved"]} bounds proofs for {combos} combos'
+assert labels == combos, f'{labels} determinism labels for {combos} combos'
+print(f'sweep JSON ok: {combos} combos, {r["bounds_proved"]} bounds proofs, '
+      f'{labels} determinism labels, trace_id={r["trace_id"]}')
+EOF
+rm -f "$sweep_json"
 
 echo "== observability: profile_gcn under tracing + trace-check =="
 trace_dir="$(mktemp -d)"
