@@ -200,23 +200,119 @@ impl SweepReport {
     }
 }
 
+/// The per-combo analysis outcome, accumulated into the [`SweepReport`]
+/// in combo order after the parallel phase.
+struct ComboOutcome {
+    findings: Vec<SweepFinding>,
+    bounds_proved: bool,
+    determinism: Option<DeterminismClass>,
+    static_witness: bool,
+    dynamic_conflict: bool,
+}
+
+/// Runs the full analysis stack on one (operator, schedule) combination.
+/// Bumps the per-pass verifier and determinism metrics (thread-safe;
+/// counts are order-independent and therefore deterministic even under a
+/// parallel sweep).
+fn analyze_combo(
+    graph: &Graph,
+    device: &DeviceConfig,
+    feat: usize,
+    op: OpInfo,
+    parallel: ParallelInfo,
+) -> ComboOutcome {
+    let metrics = ugrapher_obs::MetricsRegistry::global();
+    let verifier = |pass: &str| {
+        metrics.inc_labeled(ugrapher_obs::metrics::ANALYZE_VERIFIER, "pass", pass);
+    };
+    let fail = |detail: String| SweepFinding {
+        op,
+        schedule: parallel,
+        detail,
+    };
+    let mut outcome = ComboOutcome {
+        findings: Vec::new(),
+        bounds_proved: false,
+        determinism: None,
+        static_witness: false,
+        dynamic_conflict: false,
+    };
+    let stat = match analyze_static(graph, op, parallel, feat) {
+        Ok(stat) => stat,
+        Err(e) => {
+            match &e {
+                AnalyzeError::OutOfBounds { .. } => verifier("bounds-violation"),
+                AnalyzeError::AtomicMismatch { .. } => verifier("race-mismatch"),
+                _ => {}
+            }
+            outcome.findings.push(fail(e.to_string()));
+            return outcome;
+        }
+    };
+    // Static pass succeeded: the bounds proof discharged and all three
+    // race derivations (plan flag, shared analysis, IR write-set) agree.
+    verifier("bounds-ok");
+    verifier("race-ok");
+    outcome.bounds_proved = true;
+    outcome.determinism = Some(stat.determinism.class);
+    metrics.inc_labeled(
+        ugrapher_obs::metrics::ANALYZE_DETERMINISM,
+        "class",
+        stat.determinism.class.label(),
+    );
+    for lint in &stat.schedule_lints {
+        outcome
+            .findings
+            .push(fail(format!("schedule lint: {lint}")));
+    }
+    verifier(if stat.codegen.is_empty() {
+        "lint-ok"
+    } else {
+        "lint-finding"
+    });
+    for finding in &stat.codegen {
+        outcome.findings.push(fail(format!("IR lint: {finding}")));
+    }
+    outcome.static_witness = stat.race.witness.is_some();
+    match cross_check_plan(graph, &stat.plan, device) {
+        Ok(cc) => {
+            verifier("dynamic-ok");
+            outcome.dynamic_conflict = cc.observed_conflicts();
+        }
+        Err(e) => {
+            verifier("dynamic-mismatch");
+            outcome.findings.push(fail(e.to_string()));
+        }
+    }
+    outcome
+}
+
 /// Sweeps the full operator registry × [`Strategy::ALL`] × knob variants,
 /// running the static pass, the IR verifier passes and the dynamic
 /// cross-check on each combination and collecting every finding.
+///
+/// Combinations are analyzed on a scoped worker pool (they are mutually
+/// independent); the report is folded in combo-enumeration order, so the
+/// findings list, all counters and the `--json` rendering are
+/// byte-deterministic regardless of worker interleaving.
 pub fn analyze_registry(device: &DeviceConfig, cfg: &SweepConfig) -> SweepReport {
     analyze_registry_with_progress(device, cfg, None)
 }
 
 /// [`analyze_registry`] with a progress hook: `progress` is invoked after
-/// every combination with the number checked so far (in this sweep).
-/// Each combination also bumps the process-wide
+/// every combination with the number checked so far (in this sweep,
+/// monotonically increasing; completion order across workers is not
+/// combo order). Each combination also bumps the process-wide
 /// `ugrapher_analyze_combos_total` counter, which is what the
 /// `analyze-registry --progress` flag reports.
 pub fn analyze_registry_with_progress(
     device: &DeviceConfig,
     cfg: &SweepConfig,
-    mut progress: Option<&mut dyn FnMut(usize)>,
+    progress: Option<&mut (dyn FnMut(usize) + Send)>,
 ) -> SweepReport {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let trace_id = ugrapher_obs::next_trace_id();
     let mut span = ugrapher_obs::global().span_traced(
         "analyze.sweep",
@@ -224,82 +320,82 @@ pub fn analyze_registry_with_progress(
         trace_id,
     );
     let metrics = ugrapher_obs::MetricsRegistry::global();
-    let verifier = |pass: &str| {
-        metrics.inc_labeled(ugrapher_obs::metrics::ANALYZE_VERIFIER, "pass", pass);
-    };
     let graph = cfg.graph();
-    let mut report = SweepReport {
-        trace_id,
-        ..SweepReport::default()
-    };
+
+    // Enumerate the combo space up front so workers claim indices and the
+    // fold below can restore enumeration order.
+    let mut combos: Vec<(OpInfo, ParallelInfo)> = Vec::new();
     for op in registry::all_valid_ops() {
         for strategy in Strategy::ALL {
             for &grouping in &cfg.groupings {
                 for &tiling in &cfg.tilings {
-                    let parallel = ParallelInfo::new(strategy, grouping, tiling);
-                    report.combos_checked += 1;
-                    metrics.inc(ugrapher_obs::metrics::ANALYZE_COMBOS);
-                    if let Some(hook) = progress.as_deref_mut() {
-                        hook(report.combos_checked);
-                    }
-                    let fail = |detail: String| SweepFinding {
-                        op,
-                        schedule: parallel,
-                        detail,
-                    };
-                    let stat = match analyze_static(&graph, op, parallel, cfg.feat) {
-                        Ok(stat) => stat,
-                        Err(e) => {
-                            match &e {
-                                AnalyzeError::OutOfBounds { .. } => verifier("bounds-violation"),
-                                AnalyzeError::AtomicMismatch { .. } => verifier("race-mismatch"),
-                                _ => {}
-                            }
-                            report.findings.push(fail(e.to_string()));
-                            continue;
-                        }
-                    };
-                    // Static pass succeeded: the bounds proof discharged
-                    // and all three race derivations (plan flag, shared
-                    // analysis, IR write-set) agree.
-                    verifier("bounds-ok");
-                    verifier("race-ok");
-                    report.bounds_proved += 1;
-                    report.determinism.record(stat.determinism.class);
-                    metrics.inc_labeled(
-                        ugrapher_obs::metrics::ANALYZE_DETERMINISM,
-                        "class",
-                        stat.determinism.class.label(),
-                    );
-                    for lint in &stat.schedule_lints {
-                        report.findings.push(fail(format!("schedule lint: {lint}")));
-                    }
-                    verifier(if stat.codegen.is_empty() {
-                        "lint-ok"
-                    } else {
-                        "lint-finding"
-                    });
-                    for finding in &stat.codegen {
-                        report.findings.push(fail(format!("IR lint: {finding}")));
-                    }
-                    if stat.race.witness.is_some() {
-                        report.static_witnesses += 1;
-                    }
-                    match cross_check_plan(&graph, &stat.plan, device) {
-                        Ok(cc) => {
-                            verifier("dynamic-ok");
-                            if cc.observed_conflicts() {
-                                report.dynamic_conflicts += 1;
-                            }
-                        }
-                        Err(e) => {
-                            verifier("dynamic-mismatch");
-                            report.findings.push(fail(e.to_string()));
-                        }
-                    }
+                    combos.push((op, ParallelInfo::new(strategy, grouping, tiling)));
                 }
             }
         }
+    }
+
+    let has_progress = progress.is_some();
+    let progress = Mutex::new(progress);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<(usize, ComboOutcome)>> = Mutex::new(Vec::with_capacity(combos.len()));
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(combos.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, ComboOutcome)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= combos.len() {
+                        break;
+                    }
+                    let (op, parallel) = combos[i];
+                    metrics.inc(ugrapher_obs::metrics::ANALYZE_COMBOS);
+                    local.push((i, analyze_combo(&graph, device, cfg.feat, op, parallel)));
+                    if has_progress {
+                        // fetch_add under the lock keeps the reported
+                        // counts monotonic across workers.
+                        let mut hook = progress.lock().unwrap_or_else(|e| e.into_inner());
+                        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(hook) = hook.as_deref_mut() {
+                            hook(n);
+                        }
+                    }
+                }
+                outcomes
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut rows = outcomes.into_inner().unwrap_or_else(|e| e.into_inner());
+    rows.sort_by_key(|(i, _)| *i);
+    let mut report = SweepReport {
+        trace_id,
+        ..SweepReport::default()
+    };
+    for (_, outcome) in rows {
+        report.combos_checked += 1;
+        if outcome.bounds_proved {
+            report.bounds_proved += 1;
+        }
+        if let Some(class) = outcome.determinism {
+            report.determinism.record(class);
+        }
+        if outcome.static_witness {
+            report.static_witnesses += 1;
+        }
+        if outcome.dynamic_conflict {
+            report.dynamic_conflicts += 1;
+        }
+        report.findings.extend(outcome.findings);
     }
     if span.is_enabled() {
         span.attr("combos", report.combos_checked)

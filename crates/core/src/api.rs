@@ -29,6 +29,7 @@
 //!   the caller into [`CoreError::Internal`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use ugrapher_graph::{DegreeStats, Graph};
 use ugrapher_obs::{metrics, MetricsRegistry, Recorder, SpanKind};
@@ -36,6 +37,7 @@ use ugrapher_sim::{DeviceConfig, SimReport};
 use ugrapher_tensor::Tensor2;
 
 use crate::abstraction::OpInfo;
+use crate::cache::{CachedPlan, PlanCache, PlanKey};
 use crate::exec::{functional, measure, Fidelity, MeasureOptions, OpOperands};
 use crate::plan::KernelPlan;
 use crate::robustness::RobustnessReport;
@@ -54,16 +56,18 @@ pub struct GraphTensor<'a> {
     graph: &'a Graph,
     stats: DegreeStats,
     validation: Option<String>,
+    fingerprint: u64,
 }
 
 impl<'a> GraphTensor<'a> {
-    /// Wraps a graph, computing its degree statistics and structural
-    /// validation verdict once.
+    /// Wraps a graph, computing its degree statistics, structural
+    /// validation verdict, and structural fingerprint once.
     pub fn new(graph: &'a Graph) -> Self {
         Self {
             graph,
             stats: graph.degree_stats(),
             validation: graph.validate().err().map(|e| e.to_string()),
+            fingerprint: graph.structural_fingerprint(),
         }
     }
 
@@ -80,6 +84,12 @@ impl<'a> GraphTensor<'a> {
     /// The cached [`Graph::validate`] failure, if the graph is broken.
     pub fn validation_error(&self) -> Option<&str> {
         self.validation.as_deref()
+    }
+
+    /// The cached [`Graph::structural_fingerprint`] — the graph-version
+    /// component of [`crate::cache::PlanKey`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 }
 
@@ -129,6 +139,10 @@ pub struct UGrapherResult {
     /// [`ugrapher_obs`]). Non-zero even when tracing is disabled, so log
     /// lines and traces can be joined after the fact.
     pub trace_id: u64,
+    /// `true` when this invocation was served from the runtime's
+    /// [`PlanCache`] (schedule selection, plan generation and IR lowering
+    /// were all skipped). Always `false` on a runtime without a cache.
+    pub plan_cache_hit: bool,
 }
 
 /// An execution context: target device plus optional trained predictor.
@@ -140,6 +154,7 @@ pub struct Runtime {
     search_space: Option<Vec<ParallelInfo>>,
     tune_budget: TuneBudget,
     recorder: Recorder,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Runtime {
@@ -154,7 +169,23 @@ impl Runtime {
             search_space: None,
             tune_budget: TuneBudget::unlimited(),
             recorder: Recorder::global(),
+            plan_cache: None,
         }
+    }
+
+    /// Installs a compiled-plan cache: repeat requests with the same
+    /// operator, graph version and operand shape skip schedule selection,
+    /// plan generation and IR lowering entirely (see [`PlanCache`]).
+    /// Share one cache across runtime clones (e.g. serving workers) by
+    /// cloning the [`Arc`].
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The installed compiled-plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
     }
 
     /// Restricts grid-search auto-tuning to the given candidate schedules
@@ -304,6 +335,17 @@ impl Runtime {
             self.tune_budget,
         ) {
             Ok(res) => {
+                if res.illegal > 0 {
+                    report.record(
+                        "tune-illegal",
+                        "best legal schedule",
+                        format!(
+                            "{} of {} candidate plans failed generation",
+                            res.illegal,
+                            candidates.len()
+                        ),
+                    );
+                }
                 if res.budget_exhausted {
                     report.record(
                         "tune-budget",
@@ -346,8 +388,27 @@ impl Runtime {
         args: &OpArgs<'_>,
         parallel: Option<ParallelInfo>,
     ) -> Result<UGrapherResult, CoreError> {
-        catch_unwind(AssertUnwindSafe(|| self.run_inner(graph, args, parallel)))
-            .unwrap_or_else(|payload| Err(CoreError::from_panic(payload)))
+        self.run_with_trace_id(graph, args, parallel, ugrapher_obs::next_trace_id())
+    }
+
+    /// [`Runtime::run`] under a caller-supplied trace id, so an outer
+    /// request context (e.g. the `ugrapher-serve` engine) can join its own
+    /// spans with everything this invocation emits.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Runtime::run`].
+    pub fn run_with_trace_id(
+        &self,
+        graph: &GraphTensor<'_>,
+        args: &OpArgs<'_>,
+        parallel: Option<ParallelInfo>,
+        trace_id: u64,
+    ) -> Result<UGrapherResult, CoreError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            self.run_inner(graph, args, parallel, trace_id)
+        }))
+        .unwrap_or_else(|payload| Err(CoreError::from_panic(payload)))
     }
 
     fn run_inner(
@@ -355,8 +416,8 @@ impl Runtime {
         graph: &GraphTensor<'_>,
         args: &OpArgs<'_>,
         parallel: Option<ParallelInfo>,
+        trace_id: u64,
     ) -> Result<UGrapherResult, CoreError> {
-        let trace_id = ugrapher_obs::next_trace_id();
         let mut span = self
             .recorder
             .span_traced("ugrapher.run", SpanKind::Runtime, trace_id);
@@ -368,7 +429,8 @@ impl Runtime {
             if let Ok(res) = &result {
                 span.attr("schedule", res.schedule.label())
                     .attr("time_ms", res.report.time_ms)
-                    .attr("downgrades", res.robustness.downgrades.len());
+                    .attr("downgrades", res.robustness.downgrades.len())
+                    .attr("plan_cache_hit", res.plan_cache_hit);
             }
         }
         let reg = MetricsRegistry::global();
@@ -403,6 +465,35 @@ impl Runtime {
         let scalars = (scalar(args.operands.a), scalar(args.operands.b));
         let mut robustness = RobustnessReport::new();
         robustness.trace_id = trace_id;
+
+        // Compiled-plan cache fast path: a hit replays the stored schedule,
+        // plan, determinism class and downgrades, skipping schedule
+        // selection, plan generation and IR lowering. Downgrades are pushed
+        // directly (not via `record`) so hits do not re-bump the fallback
+        // metrics for decisions made once at compile time.
+        let key = PlanKey {
+            op: args.op,
+            explicit: parallel,
+            graph_fingerprint: graph.fingerprint(),
+            feat,
+            scalars,
+        };
+        if let Some(cached) = self.plan_cache.as_ref().and_then(|c| c.get(&key)) {
+            robustness
+                .downgrades
+                .extend(cached.downgrades.iter().cloned());
+            robustness.determinism = Some(cached.determinism);
+            return self.execute_plan(
+                graph,
+                args,
+                cached.schedule,
+                &cached.plan,
+                robustness,
+                trace_id,
+                true,
+            );
+        }
+
         let schedule = match parallel {
             Some(p) => {
                 let p = p.validated()?;
@@ -437,9 +528,38 @@ impl Runtime {
             feat,
         )?
         .with_scalar_operands(scalars.0, scalars.1);
-        robustness.determinism = Some(crate::ir::classify_determinism(&crate::lower::lower(
-            &plan,
-        )?));
+        let ir = crate::lower::lower(&plan)?;
+        let determinism = crate::ir::classify_determinism(&ir);
+        robustness.determinism = Some(determinism);
+        if let Some(cache) = &self.plan_cache {
+            cache.insert(
+                key,
+                CachedPlan {
+                    schedule,
+                    plan: plan.clone(),
+                    ir: Arc::new(ir),
+                    determinism,
+                    downgrades: robustness.downgrades.clone(),
+                },
+            );
+        }
+        self.execute_plan(graph, args, schedule, &plan, robustness, trace_id, false)
+    }
+
+    /// Executes an already-compiled plan: functional evaluation plus
+    /// simulated measurement (the part of a request the plan cache cannot
+    /// skip).
+    #[allow(clippy::too_many_arguments)]
+    fn execute_plan(
+        &self,
+        graph: &GraphTensor<'_>,
+        args: &OpArgs<'_>,
+        schedule: ParallelInfo,
+        plan: &KernelPlan,
+        robustness: RobustnessReport,
+        trace_id: u64,
+        plan_cache_hit: bool,
+    ) -> Result<UGrapherResult, CoreError> {
         let output = functional::execute_traced(
             graph.graph(),
             &args.op,
@@ -449,7 +569,7 @@ impl Runtime {
         )?;
         let report = measure(
             graph.graph(),
-            &plan,
+            plan,
             &MeasureOptions::new(self.device.clone())
                 .with_fidelity(self.fidelity)
                 .with_recorder(self.recorder.clone())
@@ -461,6 +581,7 @@ impl Runtime {
             schedule,
             robustness,
             trace_id,
+            plan_cache_hit,
         })
     }
 

@@ -32,6 +32,10 @@
 //! * [`api`] — the three-argument `uGrapher(graph_tensor, op_info,
 //!   parallel_info)` entry point of paper Fig. 9, with auto-tuning when the
 //!   schedule is omitted.
+//! * [`cache`] — the compiled-plan cache: memoizes schedule choice, plan
+//!   generation and IR lowering per (operator, graph version, shape), so
+//!   repeat requests skip compilation and tuning entirely (the hot path
+//!   of the `ugrapher-serve` engine).
 //!
 //! # Example
 //!
@@ -58,6 +62,7 @@
 pub mod abstraction;
 pub mod analysis;
 pub mod api;
+pub mod cache;
 pub mod codegen_cuda;
 mod costs;
 mod error;

@@ -77,8 +77,15 @@ pub struct TuneResult {
     pub all: Vec<(ParallelInfo, f64)>,
     /// `true` if a [`TuneBudget`] stopped the search before every
     /// candidate was measured; `best` is then best-so-far, not the proven
-    /// optimum.
+    /// optimum. Candidates whose plan generation failed do **not** count
+    /// as exhaustion — they are tallied in [`TuneResult::illegal`] — so
+    /// this flag is `true` exactly when the wall-clock deadline tripped or
+    /// `max_candidates` cut the candidate list short.
     pub budget_exhausted: bool,
+    /// Candidates skipped because their kernel plan failed to generate
+    /// (illegal schedule for this operator/graph). They are excluded from
+    /// [`TuneResult::all`] and are *not* budget exhaustion.
+    pub illegal: usize,
 }
 
 impl TuneResult {
@@ -185,10 +192,19 @@ pub fn grid_search_budgeted(
         });
     }
     options.device.validate()?;
-    // One legality gate up front (operator, first schedule, feature dim) so
-    // worker threads cannot fail on it; individual candidates are still
-    // validated per-plan.
-    crate::analysis::check_context(op, &candidates[0], feat)?;
+    // Operator and feature-dimension legality gate up front, so caller
+    // errors surface as typed `Err` before any work starts. Candidate
+    // schedules are deliberately *not* pre-validated here: each one is
+    // checked during per-plan generation, so a broken candidate anywhere
+    // in the list (first included) is tallied in `illegal` instead of
+    // failing the whole search.
+    op.validate()?;
+    if feat == 0 {
+        return Err(CoreError::FeatureMismatch {
+            expected: 1,
+            found: 0,
+        });
+    }
 
     let limit = budget
         .max_candidates
@@ -205,6 +221,10 @@ pub fn grid_search_budgeted(
     // start.
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
+    // Set only when the wall-clock deadline fires; distinguishes a genuine
+    // budget trip from candidates lost to plan-generation errors.
+    let deadline_tripped = AtomicBool::new(false);
+    let illegal = AtomicUsize::new(0);
     let measured: Mutex<Vec<(usize, ParallelInfo, f64)>> = Mutex::new(Vec::new());
     let first_error: Mutex<Option<CoreError>> = Mutex::new(None);
 
@@ -218,6 +238,7 @@ pub fn grid_search_budgeted(
                     }
                     if let Some(deadline) = deadline {
                         if Instant::now() >= deadline {
+                            deadline_tripped.store(true, Ordering::Relaxed);
                             stop.store(true, Ordering::Relaxed);
                             break;
                         }
@@ -252,6 +273,7 @@ pub fn grid_search_budgeted(
                             local.push((i, p, time_ms));
                         }
                         Err(e) => {
+                            illegal.fetch_add(1, Ordering::Relaxed);
                             let mut slot = first_error.lock().unwrap_or_else(|e| e.into_inner());
                             slot.get_or_insert(e);
                         }
@@ -267,24 +289,24 @@ pub fn grid_search_budgeted(
 
     let mut rows = measured.into_inner().unwrap_or_else(|e| e.into_inner());
     rows.sort_by_key(|(i, _, _)| *i);
-    let budget_exhausted =
-        stop.load(Ordering::Relaxed) || limit < candidates.len() || rows.len() < limit;
+    // Exhaustion means the *budget* cut the search short: the wall-clock
+    // deadline fired, or `max_candidates` excluded part of the candidate
+    // list. Candidates lost to plan-generation errors are counted in
+    // `illegal` instead (reporting them as exhaustion would make an
+    // unbudgeted search with one broken candidate look budget-limited).
+    let deadline_tripped = deadline_tripped.load(Ordering::Relaxed);
+    let illegal = illegal.load(Ordering::Relaxed);
+    let budget_exhausted = deadline_tripped || limit < candidates.len();
     let all: Vec<(ParallelInfo, f64)> = rows.into_iter().map(|(_, p, t)| (p, t)).collect();
 
     if all.is_empty() {
-        // Either every candidate was illegal, or the budget expired before
-        // anything ran; report whichever actually happened.
-        if let Some(e) = first_error.into_inner().unwrap_or_else(|e| e.into_inner()) {
-            return Err(CoreError::TuningFailed {
-                reason: format!("no legal candidate schedule: {e}"),
-            });
-        }
-        return Err(CoreError::BudgetExceeded {
-            reason: format!(
-                "budget {budget:?} expired before any of {} candidates was measured",
-                candidates.len()
-            ),
-        });
+        let pending = first_error.into_inner().unwrap_or_else(|e| e.into_inner());
+        return Err(empty_search_error(
+            deadline_tripped,
+            pending,
+            &budget,
+            candidates.len(),
+        ));
     }
 
     let (best, best_time_ms) = all
@@ -297,13 +319,51 @@ pub fn grid_search_budgeted(
         best_time_ms,
         all,
         budget_exhausted,
+        illegal,
     })
+}
+
+/// The error for a search that measured nothing, picking the verdict that
+/// actually happened: a wall-clock deadline trip is [`CoreError::BudgetExceeded`]
+/// even when an earlier candidate was illegal (the pending error is cited,
+/// not promoted — the deadline, not the broken candidate, ended the
+/// search); with no deadline trip, a pending plan-generation error means
+/// every *attempted* candidate was illegal ([`CoreError::TuningFailed`]);
+/// otherwise the budget admitted zero candidates ([`CoreError::BudgetExceeded`]).
+fn empty_search_error(
+    deadline_tripped: bool,
+    pending: Option<CoreError>,
+    budget: &TuneBudget,
+    num_candidates: usize,
+) -> CoreError {
+    if deadline_tripped {
+        let note = match pending {
+            Some(e) => format!(" (an earlier candidate was also illegal: {e})"),
+            None => String::new(),
+        };
+        return CoreError::BudgetExceeded {
+            reason: format!(
+                "wall-clock budget {budget:?} expired before any of {num_candidates} candidates was measured{note}"
+            ),
+        };
+    }
+    if let Some(e) = pending {
+        return CoreError::TuningFailed {
+            reason: format!("no legal candidate schedule: {e}"),
+        };
+    }
+    CoreError::BudgetExceeded {
+        reason: format!(
+            "budget {budget:?} expired before any of {num_candidates} candidates was measured"
+        ),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use crate::schedule::Strategy;
     use ugrapher_graph::generate::uniform_random;
     use ugrapher_sim::DeviceConfig;
 
@@ -432,6 +492,142 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn illegal_candidate_is_not_budget_exhaustion() {
+        // Regression: an unbudgeted search containing one candidate whose
+        // plan generation errors used to set `budget_exhausted` (because
+        // fewer rows than `limit` were measured). The loss must be tallied
+        // as `illegal`, not misreported as a budget trip.
+        let g = uniform_random(120, 600, 21);
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadEdge,
+            grouping: 0, // fails KernelPlan::generate with InvalidSchedule
+            tiling: 1,
+        };
+        let candidates = [
+            ParallelInfo::basic(Strategy::ThreadVertex),
+            bad,
+            ParallelInfo::basic(Strategy::WarpVertex),
+        ];
+        let res = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &candidates,
+            TuneBudget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(res.evaluated(), 2, "both legal candidates measured");
+        assert_eq!(res.illegal, 1, "the broken candidate is tallied");
+        assert!(
+            !res.budget_exhausted,
+            "no budget was set, so nothing can be exhausted"
+        );
+        // A genuine candidate budget on the same list still reports
+        // exhaustion (and the illegal candidate independently).
+        let res = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &candidates,
+            TuneBudget::max_candidates(2),
+        )
+        .unwrap();
+        assert!(res.budget_exhausted);
+        assert_eq!(res.illegal, 1);
+        assert_eq!(res.evaluated(), 1);
+    }
+
+    #[test]
+    fn all_candidates_illegal_is_tuning_failed() {
+        let g = uniform_random(60, 240, 22);
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadVertex,
+            grouping: 0,
+            tiling: 1,
+        };
+        let err = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &[bad, bad],
+            TuneBudget::unlimited(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::TuningFailed { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn zero_deadline_is_budget_exceeded_not_tuning_failed() {
+        // A deadline that fires immediately stops workers before any
+        // candidate is claimed: the verdict is BudgetExceeded even though
+        // the list contains an illegal candidate.
+        let g = uniform_random(60, 240, 23);
+        let bad = ParallelInfo {
+            strategy: Strategy::ThreadVertex,
+            grouping: 0,
+            tiling: 1,
+        };
+        let err = grid_search_budgeted(
+            &g,
+            &OpInfo::aggregation_sum(),
+            8,
+            (false, false),
+            &options(),
+            &[bad, ParallelInfo::basic(Strategy::ThreadVertex)],
+            TuneBudget::wall_clock(Duration::ZERO),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExceeded { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn empty_search_verdict_prefers_deadline_over_pending_error() {
+        // The deadline-with-pending-illegal-candidate interleaving cannot
+        // be forced deterministically through the worker pool, so the
+        // verdict function is exercised directly: a deadline trip with an
+        // earlier illegal candidate is BudgetExceeded (citing the pending
+        // error), not "no legal candidate".
+        let pending = CoreError::InvalidSchedule {
+            reason: "TV: grouping must be >= 1".to_owned(),
+        };
+        let err = empty_search_error(
+            true,
+            Some(pending),
+            &TuneBudget::wall_clock(Duration::from_millis(1)),
+            10,
+        );
+        match err {
+            CoreError::BudgetExceeded { reason } => {
+                assert!(reason.contains("grouping must be >= 1"), "{reason}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Without a deadline trip, the pending error wins.
+        assert!(matches!(
+            empty_search_error(
+                false,
+                Some(CoreError::InvalidSchedule {
+                    reason: "x".to_owned()
+                }),
+                &TuneBudget::unlimited(),
+                10,
+            ),
+            CoreError::TuningFailed { .. }
+        ));
+        // Neither: the budget admitted zero candidates.
+        assert!(matches!(
+            empty_search_error(false, None, &TuneBudget::max_candidates(0), 10),
+            CoreError::BudgetExceeded { .. }
+        ));
     }
 
     #[test]

@@ -36,6 +36,25 @@ pub const ANALYZE_VERIFIER: &str = "ugrapher_analyze_verifier_total";
 /// analyzer sweep (`sequential`, `atomic-order-insensitive`,
 /// `atomic-order-dependent`).
 pub const ANALYZE_DETERMINISM: &str = "ugrapher_analyze_determinism_total";
+/// Counter: compiled-plan cache hits (`PlanCache` in `ugrapher-core`).
+pub const PLAN_CACHE_HITS: &str = "ugrapher_plan_cache_hits_total";
+/// Counter: compiled-plan cache misses.
+pub const PLAN_CACHE_MISSES: &str = "ugrapher_plan_cache_misses_total";
+/// Counter: compiled-plan cache entries dropped by capacity eviction or
+/// explicit graph invalidation.
+pub const PLAN_CACHE_EVICTIONS: &str = "ugrapher_plan_cache_evictions_total";
+/// Counter: requests admitted by the serving engine (`ugrapher-serve`).
+pub const SERVE_REQUESTS: &str = "ugrapher_serve_requests_total";
+/// Counter (labeled `reason`): serving-engine requests shed with a typed
+/// error (`overloaded`, `deadline`, `shutdown`).
+pub const SERVE_SHED: &str = "ugrapher_serve_shed_total";
+/// Histogram: serving-engine queue depth observed at admission.
+pub const SERVE_QUEUE_DEPTH: &str = "ugrapher_serve_queue_depth";
+/// Histogram: time a served request spent queued, in milliseconds.
+pub const SERVE_QUEUE_MS: &str = "ugrapher_serve_queue_ms";
+/// Histogram: end-to-end service latency (queue wait + execution) of a
+/// served request, in milliseconds.
+pub const SERVE_LATENCY_MS: &str = "ugrapher_serve_latency_ms";
 /// Histogram (labeled `strategy`): simulated kernel time per strategy.
 pub const KERNEL_TIME_MS: &str = "ugrapher_kernel_time_ms";
 /// Histogram: end-to-end `Runtime::run` simulated time.

@@ -1,0 +1,477 @@
+//! The worker-pool serving engine.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ugrapher_core::abstraction::OpInfo;
+use ugrapher_core::api::{GraphTensor, OpArgs, Runtime, UGrapherResult};
+use ugrapher_core::cache::{CacheStats, PlanCache};
+use ugrapher_core::exec::OpOperands;
+use ugrapher_core::schedule::ParallelInfo;
+use ugrapher_graph::Graph;
+use ugrapher_obs::{metrics, MetricsRegistry};
+use ugrapher_tensor::Tensor2;
+
+use crate::ServeError;
+
+/// Sizing and policy knobs of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue. Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded queue capacity; a submit against a full queue is shed with
+    /// [`ServeError::Overloaded`]. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Capacity of the compiled-plan cache the engine installs when the
+    /// supplied runtime does not already carry one.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_capacity: 64,
+            default_deadline: None,
+            plan_cache_capacity: PlanCache::DEFAULT_CAPACITY,
+        }
+    }
+}
+
+/// One graph-operator request. Owns its operands (`Arc`-shared graph and
+/// tensors), so submitters keep no borrow into the engine.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// The graph to execute against.
+    pub graph: Arc<Graph>,
+    /// Operator semantics.
+    pub op: OpInfo,
+    /// Operand A (present iff `op.a != Null`).
+    pub a: Option<Arc<Tensor2>>,
+    /// Operand B (present iff `op.b != Null`).
+    pub b: Option<Arc<Tensor2>>,
+    /// Explicit schedule, or `None` for auto-tuning (memoized in the plan
+    /// cache after the first miss).
+    pub parallel: Option<ParallelInfo>,
+    /// Per-request deadline measured from admission; `None` uses the
+    /// engine's [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A unary request (operand B is `Null`), auto-tuned schedule.
+    pub fn fused(graph: Arc<Graph>, op: OpInfo, a: Arc<Tensor2>) -> Self {
+        Self {
+            graph,
+            op,
+            a: Some(a),
+            b: None,
+            parallel: None,
+            deadline: None,
+        }
+    }
+
+    /// A binary request with both operands, auto-tuned schedule.
+    pub fn binary(graph: Arc<Graph>, op: OpInfo, a: Arc<Tensor2>, b: Arc<Tensor2>) -> Self {
+        Self {
+            graph,
+            op,
+            a: Some(a),
+            b: Some(b),
+            parallel: None,
+            deadline: None,
+        }
+    }
+
+    /// Pins an explicit schedule instead of auto-tuning.
+    pub fn with_schedule(mut self, parallel: ParallelInfo) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Sets a per-request deadline measured from admission.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A successfully served request.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The runtime's result (output tensor, simulated performance report,
+    /// executed schedule, robustness report, `plan_cache_hit` flag).
+    pub result: UGrapherResult,
+    /// Trace id stamped on the request at admission; equals
+    /// `result.trace_id` and every span the runtime emitted for it.
+    pub trace_id: u64,
+    /// Time the request spent queued before a worker picked it up, ms.
+    pub queue_ms: f64,
+    /// End-to-end latency from admission to completion, ms.
+    pub total_ms: f64,
+}
+
+struct Job {
+    request: ServeRequest,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    trace_id: u64,
+    reply: mpsc::SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+/// A submitted request's pending reply; [`PendingResponse::wait`] blocks
+/// until a worker resolves it.
+#[derive(Debug)]
+pub struct PendingResponse {
+    trace_id: u64,
+    rx: mpsc::Receiver<Result<ServeResponse, ServeError>>,
+}
+
+impl PendingResponse {
+    /// The trace id stamped on the request at admission (usable to find
+    /// its spans even before the reply arrives).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Blocks until the request completes or is shed. A severed channel
+    /// (engine dropped mid-request) reports [`ServeError::ShuttingDown`].
+    pub fn wait(self) -> Result<ServeResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<ServeResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// The serving engine: a bounded queue drained by a pool of worker
+/// threads, each owning a [`Runtime`] clone that shares one
+/// [`PlanCache`]. See the crate docs for the full contract.
+///
+/// Dropping the engine shuts it down: workers finish their in-flight
+/// request, queued-but-unstarted requests are shed with
+/// [`ServeError::ShuttingDown`], and all threads are joined.
+pub struct ServeEngine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+    default_deadline: Option<Duration>,
+    plan_cache: Arc<PlanCache>,
+}
+
+impl std::fmt::Debug for ServeEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeEngine")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.queue_capacity)
+            .field("default_deadline", &self.default_deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeEngine {
+    /// Starts the worker pool. If `runtime` does not already carry a
+    /// compiled-plan cache, one of [`ServeConfig::plan_cache_capacity`]
+    /// entries is installed; either way all workers share it.
+    pub fn start(runtime: Runtime, config: ServeConfig) -> Self {
+        let plan_cache = match runtime.plan_cache() {
+            Some(cache) => Arc::clone(cache),
+            None => PlanCache::shared(config.plan_cache_capacity),
+        };
+        let runtime = runtime.with_plan_cache(Arc::clone(&plan_cache));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let runtime = runtime.clone();
+                std::thread::Builder::new()
+                    .name(format!("ugrapher-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &runtime))
+                    .unwrap_or_else(|e| panic!("failed to spawn serving worker: {e}"))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            queue_capacity: config.queue_capacity.max(1),
+            default_deadline: config.default_deadline,
+            plan_cache,
+        }
+    }
+
+    /// Admits a request or sheds it immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::ShuttingDown`] after shutdown began. Runtime-level
+    /// failures surface later, from [`PendingResponse::wait`].
+    pub fn submit(&self, request: ServeRequest) -> Result<PendingResponse, ServeError> {
+        let metrics_registry = MetricsRegistry::global();
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            metrics_registry.inc_labeled(metrics::SERVE_SHED, "reason", "shutdown");
+            return Err(ServeError::ShuttingDown);
+        }
+        let now = Instant::now();
+        let deadline = request.deadline.or(self.default_deadline).map(|d| now + d);
+        let trace_id = ugrapher_obs::next_trace_id();
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            request,
+            enqueued: now,
+            deadline,
+            trace_id,
+            reply: tx,
+        };
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if queue.len() >= self.queue_capacity {
+                metrics_registry.inc_labeled(metrics::SERVE_SHED, "reason", "overloaded");
+                return Err(ServeError::Overloaded {
+                    queue_capacity: self.queue_capacity,
+                });
+            }
+            queue.push_back(job);
+            metrics_registry.observe(metrics::SERVE_QUEUE_DEPTH, queue.len() as f64);
+        }
+        metrics_registry.inc(metrics::SERVE_REQUESTS);
+        self.shared.not_empty.notify_one();
+        Ok(PendingResponse { trace_id, rx })
+    }
+
+    /// Submits and blocks for the reply in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError`]: shed at admission, deadline miss, shutdown, or
+    /// a runtime failure.
+    pub fn run_sync(&self, request: ServeRequest) -> Result<ServeResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// The compiled-plan cache shared by every worker.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Point-in-time counters of the shared plan cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Number of requests currently queued (excludes in-flight work).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        for handle in self.workers.drain(..) {
+            // A panicked worker already fed a poisoned-lock recovery path;
+            // nothing useful to do with its payload here.
+            let _ = handle.join();
+        }
+        // Workers are gone; anything still queued is shed.
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for job in queue.drain(..) {
+            MetricsRegistry::global().inc_labeled(metrics::SERVE_SHED, "reason", "shutdown");
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, runtime: &Runtime) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = shared
+                    .not_empty
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(job) => process(runtime, job),
+            None => break,
+        }
+    }
+}
+
+/// Executes one dequeued job and resolves its reply channel. Deadlines are
+/// enforced twice: a request already late at dequeue is shed without
+/// executing, and one that finishes late reports the miss instead of
+/// pretending it met its contract.
+fn process(runtime: &Runtime, job: Job) {
+    let metrics_registry = MetricsRegistry::global();
+    let started = Instant::now();
+    if let Some(deadline) = job.deadline {
+        if started > deadline {
+            let late_by_ms = started.duration_since(deadline).as_millis() as u64;
+            metrics_registry.inc_labeled(metrics::SERVE_SHED, "reason", "deadline");
+            let _ = job
+                .reply
+                .send(Err(ServeError::DeadlineExceeded { late_by_ms }));
+            return;
+        }
+    }
+    let queue_ms = started.duration_since(job.enqueued).as_secs_f64() * 1e3;
+    let graph_tensor = GraphTensor::new(job.request.graph.as_ref());
+    let args = OpArgs {
+        op: job.request.op,
+        operands: OpOperands {
+            a: job.request.a.as_deref(),
+            b: job.request.b.as_deref(),
+        },
+    };
+    let outcome =
+        runtime.run_with_trace_id(&graph_tensor, &args, job.request.parallel, job.trace_id);
+    let finished = Instant::now();
+    let total_ms = finished.duration_since(job.enqueued).as_secs_f64() * 1e3;
+    let outcome = match outcome {
+        Ok(result) => match job.deadline {
+            Some(deadline) if finished > deadline => {
+                let late_by_ms = finished.duration_since(deadline).as_millis() as u64;
+                metrics_registry.inc_labeled(metrics::SERVE_SHED, "reason", "deadline");
+                Err(ServeError::DeadlineExceeded { late_by_ms })
+            }
+            _ => {
+                metrics_registry.observe(metrics::SERVE_QUEUE_MS, queue_ms);
+                metrics_registry.observe(metrics::SERVE_LATENCY_MS, total_ms);
+                Ok(ServeResponse {
+                    result,
+                    trace_id: job.trace_id,
+                    queue_ms,
+                    total_ms,
+                })
+            }
+        },
+        Err(e) => Err(ServeError::Runtime(e)),
+    };
+    let _ = job.reply.send(outcome);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugrapher_core::schedule::Strategy;
+    use ugrapher_graph::generate::ring;
+    use ugrapher_sim::DeviceConfig;
+
+    fn engine(config: ServeConfig) -> ServeEngine {
+        ServeEngine::start(Runtime::new(DeviceConfig::v100()), config)
+    }
+
+    fn request() -> ServeRequest {
+        ServeRequest::fused(
+            Arc::new(ring(32)),
+            OpInfo::aggregation_sum(),
+            Arc::new(Tensor2::full(32, 8, 1.0)),
+        )
+        .with_schedule(ParallelInfo::basic(Strategy::ThreadVertex))
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let engine = engine(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let resp = engine.run_sync(request()).expect("request served");
+        assert_eq!(resp.result.output[(0, 0)], 1.0);
+        assert_eq!(resp.trace_id, resp.result.trace_id);
+        assert!(resp.total_ms >= resp.queue_ms);
+        assert!(!resp.result.plan_cache_hit, "first request is a miss");
+        let warm = engine.run_sync(request()).expect("request served");
+        assert!(warm.result.plan_cache_hit, "second request hits the cache");
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_not_fatal() {
+        let engine = engine(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let err = engine
+            .run_sync(request().with_deadline(Duration::ZERO))
+            .expect_err("zero deadline cannot be met");
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded { .. }),
+            "{err:?}"
+        );
+        // The engine keeps serving afterwards.
+        assert!(engine.run_sync(request()).is_ok());
+    }
+
+    #[test]
+    fn runtime_errors_pass_through_typed() {
+        let engine = engine(ServeConfig::default());
+        let mut req = request();
+        req.a = Some(Arc::new(Tensor2::full(7, 8, 1.0))); // wrong row count
+        let err = engine.run_sync(req).expect_err("mismatched operand");
+        assert!(matches!(err, ServeError::Runtime(_)), "{err:?}");
+    }
+
+    #[test]
+    fn drop_sheds_queued_requests_and_joins() {
+        let engine = engine(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            ..ServeConfig::default()
+        });
+        // An auto-tuned request occupies the single worker long enough for
+        // queued work to still be pending at drop.
+        let mut slow = request();
+        slow.parallel = None;
+        let mut pending = Vec::new();
+        for _ in 0..4 {
+            if let Ok(p) = engine.submit(slow.clone()) {
+                pending.push(p);
+            }
+        }
+        drop(engine);
+        for p in pending {
+            match p.wait() {
+                Ok(_) | Err(ServeError::ShuttingDown) => {}
+                Err(other) => panic!("unexpected shed verdict: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Typed serving failures.
+
+use ugrapher_core::CoreError;
+
+/// Why the serving engine refused or failed a request.
+///
+/// Shedding is *typed*: saturation and deadline misses are distinct,
+/// recoverable conditions a client can react to (back off, retry against
+/// another replica, relax the deadline) — never a panic or a silent drop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded request queue was full at admission; the request was
+    /// shed without queueing. Back off and retry.
+    Overloaded {
+        /// The queue capacity that was exhausted.
+        queue_capacity: usize,
+    },
+    /// The request's deadline expired — either while it waited in the
+    /// queue (it was dropped without executing) or because execution
+    /// finished after the deadline had already passed.
+    DeadlineExceeded {
+        /// How long past the deadline the request was when the engine
+        /// gave up on it, in milliseconds.
+        late_by_ms: u64,
+    },
+    /// The engine is shutting down and no longer accepts or executes
+    /// requests.
+    ShuttingDown,
+    /// The underlying runtime rejected or failed the request (invalid
+    /// operator, broken graph, mismatched operands, internal panic —
+    /// see [`CoreError`]).
+    Runtime(CoreError),
+}
+
+impl ServeError {
+    /// The metric label recorded when this error sheds a request
+    /// (`ugrapher_serve_shed_total{reason=...}`).
+    pub fn shed_reason(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::ShuttingDown => "shutdown",
+            ServeError::Runtime(_) => "runtime",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { queue_capacity } => write!(
+                f,
+                "request shed: queue full (capacity {queue_capacity}); back off and retry"
+            ),
+            ServeError::DeadlineExceeded { late_by_ms } => {
+                write!(f, "deadline exceeded by {late_by_ms} ms")
+            }
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+            ServeError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shed_reasons_are_stable_labels() {
+        assert_eq!(
+            ServeError::Overloaded { queue_capacity: 1 }.shed_reason(),
+            "overloaded"
+        );
+        assert_eq!(
+            ServeError::DeadlineExceeded { late_by_ms: 5 }.shed_reason(),
+            "deadline"
+        );
+        assert_eq!(ServeError::ShuttingDown.shed_reason(), "shutdown");
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let e = ServeError::Overloaded { queue_capacity: 4 };
+        assert!(e.to_string().contains("capacity 4"));
+        assert!(e.to_string().contains("retry"));
+    }
+}

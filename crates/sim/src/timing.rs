@@ -79,10 +79,29 @@ pub fn residency(device: &DeviceConfig, threads_per_block: usize, regs_per_threa
     by_warps.min(device.max_blocks_per_sm).min(by_regs).max(1)
 }
 
+/// Deals virtual block `j` onto a sampled pool of `len` traced blocks.
+///
+/// The multiplicative (Fibonacci) hash decorrelates the pool index from
+/// the SM stride — plain `j % len` would pin each SM to a tiny subset of
+/// the sample whenever `len` shares a factor with `num_sms`. The hash is
+/// reduced to `0..len` with a 128-bit widening multiply that keeps the
+/// *high* 64 bits: every bucket receives either `floor(2^64/len)` or
+/// `ceil(2^64/len)` hash values, a relative imbalance below `len/2^64`.
+/// The previous `(hash >> 23) % len` form first truncated the hash to 41
+/// bits and then took a modulo, which over-represents the low residues by
+/// up to `len/2^41` — a measurable skew toward the front of the pool for
+/// the pool sizes the sampler actually uses.
+fn spread(j: usize, len: usize) -> usize {
+    let hash = (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (((hash as u128) * (len as u128)) >> 64) as usize
+}
+
 /// Computes kernel time and utilization metrics from the traced block pool.
 ///
-/// `grid_blocks` is the real grid size; virtual block `j` reuses
-/// `pool[j % pool.len()]` and runs on SM `j % device.num_sms`.
+/// `grid_blocks` is the real grid size; virtual block `j` runs on SM
+/// `j % device.num_sms` and replays `pool[j]` directly when the pool
+/// covers the grid, or a hash-dealt sample (`pool[spread(j, len)]`)
+/// otherwise.
 pub fn time_kernel(
     device: &DeviceConfig,
     pool: &[BlockCost],
@@ -119,7 +138,7 @@ pub fn time_kernel(
         if full {
             j
         } else {
-            (((j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 23) % pool.len() as u64) as usize
+            spread(j, pool.len())
         }
     };
 
@@ -233,6 +252,58 @@ mod tests {
         BlockCost {
             compute: c,
             ..Default::default()
+        }
+    }
+
+    #[test]
+    fn spread_is_unbiased_across_pool_sizes() {
+        // Chi-square-style uniformity check of the sampled-pool block
+        // picker, over pool sizes with and without common factors with
+        // powers of two (the old `(hash >> 23) % len` reduction skewed
+        // toward low indices). Inputs are random virtual block ids drawn
+        // from the deterministic workspace RNG, plus the sequential ids
+        // the simulator actually feeds.
+        let mut rng = ugrapher_util::rng::StdRng::seed_from_u64(0xC0FFEE);
+        for len in [7usize, 8, 9, 16, 17, 80, 96] {
+            let mut counts = vec![0u64; len];
+            const DRAWS: usize = 200_000;
+            for i in 0..DRAWS {
+                // Half random ids, half the sequential stream.
+                let j = if i % 2 == 0 {
+                    (rng.next_u64() >> 16) as usize
+                } else {
+                    i
+                };
+                counts[spread(j, len)] += 1;
+            }
+            let expected = DRAWS as f64 / len as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - expected;
+                    d * d / expected
+                })
+                .sum();
+            // Very generous acceptance: 3x the dof. A modulo-biased
+            // reduction fails this by orders of magnitude at these draw
+            // counts; a uniform one sits near `len - 1`.
+            assert!(
+                chi2 < 3.0 * len as f64,
+                "pool len {len}: chi2 = {chi2:.1}, counts = {counts:?}"
+            );
+            assert!(
+                counts.iter().all(|&c| c > 0),
+                "pool len {len}: unused bucket"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_stays_in_bounds() {
+        for len in 1..=32 {
+            for j in 0..10_000 {
+                assert!(spread(j, len) < len);
+            }
         }
     }
 

@@ -14,6 +14,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo clippy (ugrapher-analyze, -D warnings) =="
 cargo clippy -p ugrapher-analyze -- -D warnings
 
+echo "== cargo clippy (ugrapher-serve, -D warnings) =="
+cargo clippy -p ugrapher-serve --all-targets -- -D warnings
+
 echo "== cargo doc (workspace, no deps, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -45,6 +48,23 @@ cargo run --release -p ugrapher-obs --bin trace-check -- "$trace_dir/trace.json"
 UGRAPHER_TRACE="$trace_dir/trace.jsonl" cargo run --release --example profile_gcn >/dev/null
 cargo run --release -p ugrapher-obs --bin trace-check -- "$trace_dir/trace.jsonl"
 rm -rf "$trace_dir"
+
+echo "== serving: serve_bench --smoke + BENCH_serving.json gate =="
+cargo run --release -p ugrapher-bench --bin serve_bench -- --smoke >/dev/null
+# The serving benchmark must produce a parseable report showing the plan
+# cache actually engaged (the binary itself asserts the >=5x warm/cold
+# and >=90% hit-rate acceptance bars).
+python3 - results/BENCH_serving.json <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+hit_rate = r["cache"]["hit_rate"]
+speedup = r["warm_over_cold_speedup"]
+assert hit_rate > 0, "plan cache never hit"
+assert r["cache"]["hits"] > 0 and r["cache"]["misses"] > 0
+assert r["warm"]["requests"] > r["cold"]["requests"]
+print(f'serving JSON ok: hit rate {hit_rate:.1%}, warm/cold speedup {speedup:.1f}x, '
+      f'{r["warm"]["requests"]} warm requests p99={r["warm"]["p99_ms"]:.2f}ms')
+EOF
 
 echo "== tier-1: cargo test -q =="
 cargo test -q

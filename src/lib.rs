@@ -15,6 +15,7 @@
 //! | [`gnn`] | `ugrapher-gnn` | GCN/GIN/GAT/GraphSage inference pipelines |
 //! | [`baselines`] | `ugrapher-baselines` | DGL-, PyG- and GNNAdvisor-style backends |
 //! | [`analyze`] | `ugrapher-analyze` | static schedule/kernel analyzer with write-set race detection and sim cross-check |
+//! | [`serve`] | `ugrapher-serve` | concurrent serving engine: bounded queue, worker pool, deadlines, shared compiled-plan cache |
 //! | [`obs`] | `ugrapher-obs` | tracing spans, trace sinks (ring/JSONL/Chrome), metrics registry, profile rollups |
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
@@ -49,6 +50,7 @@ pub use ugrapher_gbdt as gbdt;
 pub use ugrapher_gnn as gnn;
 pub use ugrapher_graph as graph;
 pub use ugrapher_obs as obs;
+pub use ugrapher_serve as serve;
 pub use ugrapher_sim as sim;
 pub use ugrapher_tensor as tensor;
 pub use ugrapher_util as util;
